@@ -1,0 +1,339 @@
+package repro
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (chapters 7-9), plus ablation benches for the design
+// choices DESIGN.md calls out. Simulated results are attached with
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the
+// evaluation's numbers alongside host-side performance of the simulator
+// itself.
+//
+// The kernel image and per-workload ISVs are built once and shared; each
+// benchmark iteration boots fresh machines, so iterations are independent.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/internal/hwmodel"
+	"repro/internal/kernel"
+	"repro/internal/kimage"
+	"repro/internal/lebench"
+	"repro/internal/scanner"
+	"repro/internal/schemes"
+)
+
+var (
+	benchOnce sync.Once
+	benchH    *harness.Harness
+)
+
+func h(b testing.TB) *harness.Harness {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchH = harness.New(harness.QuickOptions())
+	})
+	return benchH
+}
+
+// BenchmarkTable4_1_PoCAttacks runs the proof-of-concept attack matrix:
+// every attack leaks on UNSAFE and is blocked under PERSPECTIVE.
+func BenchmarkTable4_1_PoCAttacks(b *testing.B) {
+	hh := h(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := hh.PoCMatrix()
+		if err != nil {
+			b.Fatal(err)
+		}
+		leakedUnsafe, blockedPersp := 0, 0
+		for _, r := range rows {
+			if r.Scheme == schemes.Unsafe {
+				leakedUnsafe += r.Leaked
+			} else if r.Blocked {
+				blockedPersp++
+			}
+		}
+		b.ReportMetric(float64(leakedUnsafe), "bytes-leaked-unsafe")
+		b.ReportMetric(float64(blockedPersp), "attacks-blocked-perspective")
+	}
+}
+
+// BenchmarkTable8_1_AttackSurface measures per-workload ISV surface
+// reduction.
+func BenchmarkTable8_1_AttackSurface(b *testing.B) {
+	hh := h(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := hh.Table81()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sSum, dSum float64
+		for _, r := range rows {
+			sSum += r.StaticPct
+			dSum += r.DynamicPct
+		}
+		b.ReportMetric(sSum/float64(len(rows)), "pct-reduction-static")
+		b.ReportMetric(dSum/float64(len(rows)), "pct-reduction-dynamic")
+	}
+}
+
+// BenchmarkTable8_2_GadgetReduction measures blocked-gadget percentages per
+// ISV variant.
+func BenchmarkTable8_2_GadgetReduction(b *testing.B) {
+	hh := h(b)
+	for i := 0; i < b.N; i++ {
+		rows, _, err := hh.Table82()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var s, d, p float64
+		for _, r := range rows {
+			for ch := 0; ch < 3; ch++ {
+				s += r.Blocked[0][ch]
+				d += r.Blocked[1][ch]
+				p += r.Blocked[2][ch]
+			}
+		}
+		n := float64(3 * len(rows))
+		b.ReportMetric(s/n, "pct-blocked-ISV-S")
+		b.ReportMetric(d/n, "pct-blocked-ISV")
+		b.ReportMetric(p/n, "pct-blocked-ISVpp")
+	}
+}
+
+// BenchmarkFig9_1_KasperSpeedup measures the ISV-bounded scanner's
+// discovery-rate speedup.
+func BenchmarkFig9_1_KasperSpeedup(b *testing.B) {
+	hh := h(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := hh.Fig91()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range rows {
+			sum += r.Speedup
+		}
+		b.ReportMetric(sum/float64(len(rows)), "avg-speedup-x")
+	}
+}
+
+// BenchmarkFig9_2_LEBench runs the microbenchmark suite per scheme,
+// reporting mean normalized latency (the figure's headline numbers).
+func BenchmarkFig9_2_LEBench(b *testing.B) {
+	hh := h(b)
+	for _, kind := range hh.Opt.Schemes {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cells, err := hh.Fig92Scheme(kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var cyc float64
+				for _, c := range cells {
+					cyc += c.Cycles
+				}
+				b.ReportMetric(cyc/float64(len(cells)), "simcycles/test")
+			}
+		})
+	}
+}
+
+// BenchmarkFig9_3_Apps runs each datacenter app per scheme, reporting
+// simulated kernel cycles per request.
+func BenchmarkFig9_3_Apps(b *testing.B) {
+	hh := h(b)
+	for _, a := range apps.All() {
+		a := a
+		for _, kind := range []schemes.Kind{schemes.Unsafe, schemes.Fence, schemes.Perspective} {
+			kind := kind
+			b.Run(fmt.Sprintf("%s/%s", a.Name, kind), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cyc, err := hh.ServeApp(a, kind, 30)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(cyc, "simcycles/req")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable9_1_HWModel characterizes the view caches.
+func BenchmarkTable9_1_HWModel(b *testing.B) {
+	var area float64
+	for i := 0; i < b.N; i++ {
+		for _, c := range hwmodel.Table91() {
+			area += c.AreaMM2
+		}
+	}
+	b.ReportMetric(hwmodel.Table91()[0].AccessPS, "dsv-access-ps")
+	b.ReportMetric(hwmodel.Table91()[1].AccessPS, "isv-access-ps")
+	_ = area
+}
+
+// BenchmarkTable10_1_FenceBreakdown measures the ISV/DSV fence split.
+func BenchmarkTable10_1_FenceBreakdown(b *testing.B) {
+	hh := h(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := hh.Table101()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var isvShare, fpk float64
+		for _, r := range rows {
+			isvShare += r.ISVShare
+			fpk += r.FencesPKI
+		}
+		b.ReportMetric(100*isvShare/float64(len(rows)), "isv-share-pct")
+		b.ReportMetric(fpk/float64(len(rows)), "fences/kinst")
+	}
+}
+
+// --- Ablation benches (DESIGN.md §4 design choices) ---
+
+// BenchmarkAblation_SecureSlab compares the secure slab allocator's memory
+// utilization against the baseline packing allocator (§9.2 fragmentation).
+func BenchmarkAblation_SecureSlab(b *testing.B) {
+	hh := h(b)
+	for _, secure := range []bool{false, true} {
+		secure := secure
+		name := "baseline"
+		if secure {
+			name = "secure"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := kernel.DefaultConfig()
+				cfg.SecureSlab = secure
+				k, err := kernel.New(cfg, hh.Img)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for p := 0; p < 6; p++ {
+					t, err := k.CreateProcess(fmt.Sprintf("c%d", p))
+					if err != nil {
+						b.Fatal(err)
+					}
+					for j := 0; j < 20; j++ {
+						k.Syscall(t, kimage.NROpen)
+					}
+				}
+				b.ReportMetric(100*k.Slab.Utilization(), "slab-util-pct")
+				b.ReportMetric(float64(k.Slab.FootprintPages()), "slab-pages")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_UnknownBlocking measures the §9.2 unknown-allocation
+// overhead: Perspective with and without conservative blocking of memory in
+// no DSV.
+func BenchmarkAblation_UnknownBlocking(b *testing.B) {
+	hh := h(b)
+	for _, block := range []bool{true, false} {
+		block := block
+		name := "block-unknown"
+		if !block {
+			name = "allow-unknown"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cyc, err := hh.LEBenchPerspective(block)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(cyc, "simcycles")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_FOpsReplication measures per-process replication of
+// f_op tables (the §6.1 fix for function-pointer globals) against shared
+// kernel-owned tables.
+func BenchmarkAblation_FOpsReplication(b *testing.B) {
+	hh := h(b)
+	for _, repl := range []bool{true, false} {
+		repl := repl
+		name := "replicated"
+		if !repl {
+			name = "shared-globals"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cyc, err := hh.ReadWorkloadPerspective(repl)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(cyc, "simcycles")
+			}
+		})
+	}
+}
+
+// --- Simulator micro-benchmarks (host performance of the stack itself) ---
+
+// BenchmarkSim_SyscallThroughput measures host-side simulation speed.
+func BenchmarkSim_SyscallThroughput(b *testing.B) {
+	hh := h(b)
+	k, err := kernel.New(kernel.DefaultConfig(), hh.Img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t, err := k.CreateProcess("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Syscall(t, kimage.NRGetpid); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(k.Core.Stats.Insts)/float64(b.N), "siminsts/syscall")
+}
+
+// BenchmarkSim_ImageBuild measures synthetic-kernel generation.
+func BenchmarkSim_ImageBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		img := kimage.MustBuild(kimage.TestSpec())
+		if img.NumFuncs() == 0 {
+			b.Fatal("empty image")
+		}
+	}
+}
+
+// BenchmarkSim_Scanner measures host-side scan throughput.
+func BenchmarkSim_Scanner(b *testing.B) {
+	hh := h(b)
+	scope := hh.Graph.WholeKernelClosure()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := scanner.Scan(hh.Img, scope, int64(i))
+		if len(rep.Findings) == 0 {
+			b.Fatal("no findings")
+		}
+	}
+}
+
+// BenchmarkSim_LEBenchSuite measures host time to simulate the whole suite
+// under UNSAFE.
+func BenchmarkSim_LEBenchSuite(b *testing.B) {
+	hh := h(b)
+	for i := 0; i < b.N; i++ {
+		k, err := kernel.New(kernel.DefaultConfig(), hh.Img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tst := range lebench.Tests() {
+			if _, err := lebench.RunTest(k, tst, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Command kdump explores the synthetic kernel image: summary statistics,
+// per-function disassembly, call-graph neighbourhoods, syscall table, and
+// the seeded gadget census. It is the debugging companion to the simulator
+// (what objdump/radare2 are to a real kernel).
+//
+// Usage:
+//
+//	kdump -summary
+//	kdump -fn sys_read            # disassemble + callees/callers
+//	kdump -syscalls               # syscall table
+//	kdump -gadgets -n 20          # seeded gadget census
+//	kdump -subsys drivers/usb     # functions per subsystem
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/kimage"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "quick or paper image")
+	summary := flag.Bool("summary", false, "image summary")
+	fn := flag.String("fn", "", "disassemble the named function")
+	syscalls := flag.Bool("syscalls", false, "list the syscall table")
+	gadgets := flag.Bool("gadgets", false, "list seeded gadgets")
+	subsys := flag.String("subsys", "", "list functions in a subsystem")
+	n := flag.Int("n", 10, "max rows for list outputs")
+	flag.Parse()
+
+	spec := kimage.TestSpec()
+	if *scale == "paper" {
+		spec = kimage.FullSpec()
+	}
+	img := kimage.MustBuild(spec)
+
+	switch {
+	case *fn != "":
+		dumpFunc(img, *fn)
+	case *syscalls:
+		dumpSyscalls(img)
+	case *gadgets:
+		dumpGadgets(img, *n)
+	case *subsys != "":
+		dumpSubsys(img, *subsys, *n)
+	default:
+		_ = summary
+		dumpSummary(img)
+	}
+}
+
+func dumpSummary(img *kimage.Image) {
+	m, p, c := img.GadgetCensus()
+	subs := map[string]int{}
+	cold := 0
+	sysN := 0
+	for _, f := range img.Funcs() {
+		subs[f.Subsys]++
+		if f.Cold {
+			cold++
+		}
+		if f.SyscallNR >= 0 {
+			sysN++
+		}
+	}
+	fmt.Printf("functions:    %d (%d cold / error-path, %d syscall entries)\n",
+		img.NumFuncs(), cold, sysN)
+	fmt.Printf("instructions: %d\n", img.NumInsts())
+	fmt.Printf("gadgets:      %d  (%d MDS, %d Port, %d Cache)\n", m+p+c, m, p, c)
+	fmt.Printf("subsystems:   %d\n", len(subs))
+	type kv struct {
+		k string
+		v int
+	}
+	var rows []kv
+	for k, v := range subs {
+		rows = append(rows, kv{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+	for i, r := range rows {
+		if i >= 8 {
+			fmt.Printf("  ... and %d more\n", len(rows)-8)
+			break
+		}
+		fmt.Printf("  %-16s %6d functions\n", r.k, r.v)
+	}
+}
+
+func dumpFunc(img *kimage.Image, name string) {
+	f := img.FuncByName(name)
+	if f == nil {
+		fmt.Fprintf(os.Stderr, "kdump: no function %q\n", name)
+		os.Exit(1)
+	}
+	fmt.Printf("%s  @ %#x  (%d insts, subsys %s", f.Name, f.VA, f.NumInsts(), f.Subsys)
+	if f.Gadget != kimage.GadgetNone {
+		fmt.Printf(", GADGET:%s at %#x", f.Gadget, f.GadgetPC)
+	}
+	if f.SyscallNR >= 0 {
+		fmt.Printf(", syscall %d", f.SyscallNR)
+	}
+	fmt.Println(")")
+	for i, in := range f.Code {
+		va := f.VA + uint64(i)*isa.InstBytes
+		marker := "  "
+		if va == f.GadgetPC {
+			marker = "G>"
+		}
+		// Annotate linked control targets with function names.
+		note := ""
+		if in.IsControl() && in.Target != 0 {
+			if tf := img.FuncAt(in.Target); tf != nil && tf != f {
+				note = "  ; -> " + tf.Name
+			}
+		}
+		fmt.Printf("%s %#x:  %s%s\n", marker, va, in.String(), note)
+	}
+	if len(f.Callees) > 0 {
+		fmt.Print("callees: ")
+		for _, id := range f.Callees {
+			fmt.Printf("%s ", img.FuncByID(id).Name)
+		}
+		fmt.Println()
+	}
+	if len(f.StaticIndirect) > 0 {
+		fmt.Print("static indirect targets: ")
+		for _, id := range f.StaticIndirect {
+			fmt.Printf("%s ", img.FuncByID(id).Name)
+		}
+		fmt.Println()
+	}
+	if len(f.IndirectCallees) > 0 {
+		fmt.Printf("runtime-registered indirect targets: %d (invisible to static analysis)\n",
+			len(f.IndirectCallees))
+	}
+	var callers []string
+	for _, g := range img.Funcs() {
+		for _, id := range g.Callees {
+			if id == f.ID {
+				callers = append(callers, g.Name)
+			}
+		}
+	}
+	if len(callers) > 0 && len(callers) <= 12 {
+		fmt.Printf("callers: %v\n", callers)
+	} else if len(callers) > 12 {
+		fmt.Printf("callers: %d functions\n", len(callers))
+	}
+}
+
+func dumpSyscalls(img *kimage.Image) {
+	var nrs []int
+	for _, f := range img.Funcs() {
+		if f.SyscallNR >= 0 {
+			nrs = append(nrs, f.SyscallNR)
+		}
+	}
+	sort.Ints(nrs)
+	for _, nr := range nrs {
+		f := img.SyscallEntry(nr)
+		fmt.Printf("%4d  %-20s %4d insts  %d direct callees\n",
+			nr, f.Name, f.NumInsts(), len(f.Callees))
+	}
+}
+
+func dumpGadgets(img *kimage.Image, n int) {
+	for i, f := range img.Gadgets() {
+		if i >= n {
+			fmt.Printf("... and %d more (use -n)\n", len(img.Gadgets())-n)
+			break
+		}
+		fmt.Printf("%-6s %-32s %-14s transmit at %#x\n", f.Gadget, f.Name, f.Subsys, f.GadgetPC)
+	}
+}
+
+func dumpSubsys(img *kimage.Image, name string, n int) {
+	count := 0
+	for _, f := range img.Funcs() {
+		if f.Subsys != name {
+			continue
+		}
+		count++
+		if count <= n {
+			fmt.Printf("%-32s %#x  %d insts\n", f.Name, f.VA, f.NumInsts())
+		}
+	}
+	if count > n {
+		fmt.Printf("... %d functions total in %s\n", count, name)
+	}
+	if count == 0 {
+		fmt.Fprintf(os.Stderr, "kdump: no functions in subsystem %q\n", name)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// Container isolation: two mutually distrusting containers share a machine.
+// The attacker runs a real end-to-end active Spectre v1 attack (Figure 4.1)
+// against the victim's memory through a kernel CVE gadget — and really
+// recovers the secret byte-for-byte on unprotected hardware. Turning on
+// Perspective's Data Speculation Views makes the identical attack recover
+// nothing: the wrong-path load that would read the victim's page violates
+// data ownership and never executes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attack"
+	"repro/perspective"
+)
+
+func attempt(protect bool) {
+	m, err := perspective.NewMachine(perspective.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim, err := m.Launch("tenant-a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, err := m.Launch("tenant-b")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	secret := []byte("api-key:hunter2!")
+	secretVA, err := attack.PlantSecret(m.Kernel(), victim.Task(), secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if protect {
+		// DSVs are populated automatically by every allocation path; the
+		// policy only has to be switched on. Both tenants get fully
+		// trusting *instruction* views so the only defense in play is
+		// data ownership — isolating the §8.1 claim.
+		m.InstallISV(victim, m.FullISV())
+		m.InstallISV(attacker, m.FullISV())
+		m.Protect(perspective.SchemePerspective)
+		fmt.Println("\n-- Perspective DSVs enabled --")
+	} else {
+		fmt.Println("\n-- UNSAFE hardware --")
+	}
+	fmt.Printf("victim stored %q at direct-map %#x\n", secret, secretVA)
+
+	res, err := attack.ActiveSpectreV1(m.Kernel(), attacker.Task(), secretVA, len(secret))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attacker recovered: %q (%d/%d bytes correct)\n",
+		printable(res.Recovered), res.Match(secret), len(secret))
+}
+
+func printable(b []byte) string {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if c >= 32 && c < 127 {
+			out[i] = c
+		} else {
+			out[i] = '.'
+		}
+	}
+	return string(out)
+}
+
+func main() {
+	fmt.Println("Active transient-execution attack across containers (Figure 4.1)")
+	attempt(false)
+	attempt(true)
+	fmt.Println("\nDSVs eliminate active attacks: ownership is recorded at allocation")
+	fmt.Println("time, and speculative accesses outside the attacker's view never run.")
+}

@@ -1,0 +1,59 @@
+// Quickstart: boot a simulated machine, run a small syscall workload under
+// the unprotected baseline and under Perspective, and compare the cost of
+// protection — the headline result that tailored speculation control is
+// nearly free.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/perspective"
+)
+
+func run(scheme perspective.Scheme, label string) float64 {
+	m, err := perspective.NewMachine(perspective.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := m.Launch("demo-app")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Profile the app once to derive its dynamic ISV (§5.3): trace a
+	// representative run, then install the resulting view.
+	stop := m.TraceISV(app)
+	workload := func() {
+		buf, _ := m.Syscall(app, perspective.SysMmap, 8*4096, 1)
+		fd, _ := m.Syscall(app, perspective.SysOpen)
+		for i := 0; i < 10; i++ {
+			m.Syscall(app, perspective.SysWrite, fd, buf, 256)
+			m.Syscall(app, perspective.SysRead, fd, buf, 256)
+			m.Syscall(app, perspective.SysGetpid)
+		}
+	}
+	workload()
+	view := stop()
+	m.InstallISV(app, view)
+
+	// Switch on the hardware policy and measure the same workload.
+	m.Protect(scheme)
+	start := m.Cycles()
+	workload()
+	cycles := m.Cycles() - start
+	fmt.Printf("%-22s %10.0f cycles  (ISV trusts %d kernel functions, %.1f%% surface reduction)\n",
+		label, cycles, view.NumFuncs(), m.SurfaceReduction(view))
+	return cycles
+}
+
+func main() {
+	fmt.Println("Perspective quickstart: same workload, different speculation control")
+	unsafe := run(perspective.SchemeUnsafe, "UNSAFE (no defense)")
+	fence := run(perspective.SchemeFence, "FENCE (block all)")
+	persp := run(perspective.SchemePerspective, "PERSPECTIVE (DSV+ISV)")
+	fmt.Printf("\nFENCE overhead:       %+6.1f%%\n", 100*(fence/unsafe-1))
+	fmt.Printf("PERSPECTIVE overhead: %+6.1f%%\n", 100*(persp/unsafe-1))
+	fmt.Println("\nPerspective pays only for actual view violations and cold view-cache")
+	fmt.Println("misses, so tailored protection costs a fraction of blanket fencing.")
+}

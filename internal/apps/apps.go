@@ -1,0 +1,244 @@
+// Package apps models the four datacenter applications of §7 — httpd,
+// nginx, memcached and redis — as request/response loops between a client
+// and a server container over the simulated loopback socket stack. Each
+// request exercises the app's characteristic kernel path (epoll wake, recv,
+// optional file read, send, client receive); userspace computation is
+// accounted separately so the kernel-time fractions the paper measures
+// (50–65%) set how much a kernel defense dilutes into end-to-end
+// throughput.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/kimage"
+	"repro/internal/memsim"
+)
+
+// App describes one datacenter application.
+type App struct {
+	Name string
+	// KernelTimeFrac is the fraction of runtime spent in the OS (§7: 50%
+	// httpd, 65% nginx, 65% memcached, 53% redis).
+	KernelTimeFrac float64
+	// RequestBytes / ReplyBytes size the two transfers.
+	RequestBytes, ReplyBytes int
+	// ReadsFile marks apps that serve page-cache content per request
+	// (httpd reads the file; nginx serves from memory after a stat).
+	ReadsFile bool
+	// Stats performs a stat() per request (nginx's cached path).
+	StatsFile bool
+	// BaselineRPS is the paper's UNSAFE throughput (§9.1), recorded for
+	// EXPERIMENTS.md comparison.
+	BaselineRPS float64
+}
+
+// All returns the four applications in paper order.
+func All() []App {
+	return []App{
+		{Name: "httpd", KernelTimeFrac: 0.50, RequestBytes: 128, ReplyBytes: 1024,
+			ReadsFile: true, BaselineRPS: 11_500},
+		{Name: "nginx", KernelTimeFrac: 0.65, RequestBytes: 128, ReplyBytes: 1024,
+			StatsFile: true, BaselineRPS: 18_000},
+		{Name: "memcached", KernelTimeFrac: 0.65, RequestBytes: 48, ReplyBytes: 256,
+			BaselineRPS: 55_000},
+		{Name: "redis", KernelTimeFrac: 0.53, RequestBytes: 64, ReplyBytes: 128,
+			BaselineRPS: 40_700},
+	}
+}
+
+// ByName resolves an app.
+func ByName(name string) (App, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// Conn is a served connection: the app's server/client state on a machine.
+type Conn struct {
+	App            App
+	K              *kernel.Kernel
+	Server, Client *kernel.Task
+
+	cliSock, srvSock uint64
+	epfd             uint64
+	fileFD           uint64
+	cliBuf, srvBuf   uint64
+}
+
+// Dial boots the app on a machine: server and client processes in their
+// own containers, a connected loopback socket registered with the server's
+// epoll instance, and (for file-serving apps) a warm page-cache file.
+func Dial(a App, k *kernel.Kernel) (*Conn, error) {
+	server, err := k.CreateProcess(a.Name + "-server")
+	if err != nil {
+		return nil, err
+	}
+	client, err := k.CreateProcess(a.Name + "-client")
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{App: a, K: k, Server: server, Client: client}
+
+	lfd, err := k.Syscall(server, kimage.NRSocket)
+	if err != nil {
+		return nil, err
+	}
+	k.Syscall(server, kimage.NRBind, lfd, 80)
+	k.Syscall(server, kimage.NRListen, lfd)
+
+	c.cliSock, err = k.Syscall(client, kimage.NRSocket)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := k.Syscall(client, kimage.NRConnect, c.cliSock, 80); err != nil {
+		return nil, err
+	}
+	c.srvSock, err = k.Syscall(server, kimage.NRAccept, lfd)
+	if err != nil {
+		return nil, err
+	}
+
+	c.epfd, err = k.Syscall(server, kimage.NREpollCreate)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := k.Syscall(server, kimage.NREpollCtl, c.epfd, c.srvSock); err != nil {
+		return nil, err
+	}
+
+	if a.ReadsFile || a.StatsFile {
+		c.fileFD, err = k.Syscall(server, kimage.NROpen)
+		if err != nil {
+			return nil, err
+		}
+		f, _ := k.FileByFD(server, int(c.fileFD))
+		content := make([]byte, a.ReplyBytes)
+		for i := range content {
+			content[i] = byte('A' + i%26)
+		}
+		k.WriteFileData(f, content)
+	}
+
+	if c.cliBuf, err = k.Syscall(client, kimage.NRMmap, 2*memsim.PageSize, 1); err != nil {
+		return nil, err
+	}
+	if c.srvBuf, err = k.Syscall(server, kimage.NRMmap, 2*memsim.PageSize, 1); err != nil {
+		return nil, err
+	}
+	req := make([]byte, a.RequestBytes)
+	copy(req, []byte("GET /index HTTP/1.1"))
+	if err := k.CopyToUser(client, c.cliBuf, req); err != nil {
+		return nil, err
+	}
+	reply := make([]byte, a.ReplyBytes)
+	if err := k.CopyToUser(server, c.srvBuf+memsim.PageSize, reply); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Request serves one request end to end, returning any kernel error.
+func (c *Conn) Request() error {
+	k, a := c.K, c.App
+	// Client: send the request.
+	if _, err := k.Syscall(c.Client, kimage.NRSend, c.cliSock, c.cliBuf, uint64(a.RequestBytes)); err != nil {
+		return fmt.Errorf("%s send: %w", a.Name, err)
+	}
+	// Server: epoll wake, receive.
+	ready, err := k.EpollWait(c.Server, int(c.epfd))
+	if err != nil {
+		return err
+	}
+	if ready == 0 {
+		return fmt.Errorf("%s: epoll saw no readable socket", a.Name)
+	}
+	if _, err := k.Syscall(c.Server, kimage.NRRecv, c.srvSock, c.srvBuf, uint64(a.RequestBytes)); err != nil {
+		return fmt.Errorf("%s recv: %w", a.Name, err)
+	}
+	// Server: app-specific content path.
+	if a.StatsFile {
+		if _, err := k.Syscall(c.Server, kimage.NRFstat, c.fileFD, c.srvBuf+memsim.PageSize); err != nil {
+			return err
+		}
+	}
+	if a.ReadsFile {
+		k.Rewind(c.Server, int(c.fileFD))
+		if _, err := k.Syscall(c.Server, kimage.NRRead, c.fileFD, c.srvBuf+memsim.PageSize, uint64(a.ReplyBytes)); err != nil {
+			return fmt.Errorf("%s file read: %w", a.Name, err)
+		}
+	}
+	// Server: reply; client: receive.
+	if _, err := k.Syscall(c.Server, kimage.NRSend, c.srvSock, c.srvBuf+memsim.PageSize, uint64(a.ReplyBytes)); err != nil {
+		return fmt.Errorf("%s reply: %w", a.Name, err)
+	}
+	if _, err := k.Syscall(c.Client, kimage.NRRecv, c.cliSock, c.cliBuf+memsim.PageSize, uint64(a.ReplyBytes)); err != nil {
+		return fmt.Errorf("%s client recv: %w", a.Name, err)
+	}
+	return nil
+}
+
+// Serve runs n requests (after a small warmup) and returns the kernel
+// cycles consumed per request.
+func (c *Conn) Serve(n int) (kernelCyclesPerReq float64, err error) {
+	for i := 0; i < 3; i++ {
+		if err := c.Request(); err != nil {
+			return 0, err
+		}
+	}
+	start := c.K.Core.Now()
+	for i := 0; i < n; i++ {
+		if err := c.Request(); err != nil {
+			return 0, err
+		}
+	}
+	return (c.K.Core.Now() - start) / float64(n), nil
+}
+
+// Profile lists the syscalls the app's binary uses (the dynamic set), for
+// ISV generation.
+func (a App) Profile() []int {
+	base := []int{
+		kimage.NRSocket, kimage.NRBind, kimage.NRListen, kimage.NRConnect,
+		kimage.NRAccept, kimage.NRSend, kimage.NRRecv, kimage.NREpollCreate,
+		kimage.NREpollCtl, kimage.NREpollWait, kimage.NRMmap, kimage.NRClose,
+		kimage.NRGetpid,
+	}
+	if a.ReadsFile {
+		base = append(base, kimage.NROpen, kimage.NRRead)
+	}
+	if a.StatsFile {
+		base = append(base, kimage.NROpen, kimage.NRFstat)
+	}
+	return base
+}
+
+// ExtraProfile lists syscalls a conservative binary analysis would add
+// (libc-reachable but unused) — per app, deterministic.
+func (a App) ExtraProfile() []int {
+	extra := []int{
+		kimage.NRBrk, kimage.NRStat, kimage.NRWrite, kimage.NRMunmap,
+		kimage.NRFutex, kimage.NRNanosleep, kimage.NRDup, kimage.NRGetuid,
+		kimage.NRClone, kimage.NRExit, kimage.NRSchedYield, kimage.NRPipe,
+	}
+	// A few app-specific synthetic syscalls (plugins, modules the analyzer
+	// cannot prune).
+	h := 0
+	for _, ch := range a.Name {
+		h = h*31 + int(ch)
+	}
+	for i := 0; i < 8; i++ {
+		extra = append(extra, kimage.NRGenBase+(h+i*7)%200)
+	}
+	return extra
+}
+
+// UserCyclesPerReq converts a measured kernel cost into the userspace
+// think-time that yields the app's §7 kernel-time fraction.
+func (a App) UserCyclesPerReq(kernelCycles float64) float64 {
+	return kernelCycles * (1 - a.KernelTimeFrac) / a.KernelTimeFrac
+}

@@ -1,0 +1,90 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/kimage"
+)
+
+var testImg = kimage.MustBuild(kimage.TestSpec())
+
+func TestAllAppsServe(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			k, err := kernel.New(kernel.DefaultConfig(), testImg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := Dial(a, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cyc, err := c.Serve(10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cyc <= 0 {
+				t.Errorf("cycles/req = %f", cyc)
+			}
+			if k.Stats.HandlerFaults != 0 {
+				t.Errorf("handler faults = %d (last: %+v)", k.Stats.HandlerFaults, k.LastFault())
+			}
+			// Server and client live in distinct containers.
+			if c.Server.Ctx() == c.Client.Ctx() {
+				t.Error("server and client share a context")
+			}
+		})
+	}
+}
+
+func TestAppMetadata(t *testing.T) {
+	if len(All()) != 4 {
+		t.Fatalf("apps = %d, want 4", len(All()))
+	}
+	for _, a := range All() {
+		if a.KernelTimeFrac < 0.4 || a.KernelTimeFrac > 0.7 {
+			t.Errorf("%s kernel fraction %f outside §7 band", a.Name, a.KernelTimeFrac)
+		}
+		if len(a.Profile()) == 0 || len(a.ExtraProfile()) == 0 {
+			t.Errorf("%s profile empty", a.Name)
+		}
+		if a.BaselineRPS <= 0 {
+			t.Errorf("%s no baseline RPS", a.Name)
+		}
+	}
+	if _, ok := ByName("nginx"); !ok {
+		t.Error("ByName failed")
+	}
+	if _, ok := ByName("ghost"); ok {
+		t.Error("ByName found ghost")
+	}
+}
+
+func TestUserCyclesFraction(t *testing.T) {
+	a, _ := ByName("httpd") // 50% kernel: user == kernel
+	if got := a.UserCyclesPerReq(1000); got != 1000 {
+		t.Errorf("httpd user cycles = %f", got)
+	}
+	b, _ := ByName("nginx") // 65% kernel
+	if got := b.UserCyclesPerReq(650); got < 349 || got > 351 {
+		t.Errorf("nginx user cycles = %f", got)
+	}
+}
+
+// Repeated requests are steady: the ring never wedges, state stays
+// consistent.
+func TestSustainedLoad(t *testing.T) {
+	k, _ := kernel.New(kernel.DefaultConfig(), testImg)
+	a, _ := ByName("memcached")
+	c, err := Dial(a, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := c.Request(); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package attack implements the paper's proof-of-concept transient
+// execution attacks (§8): end-to-end active attacks (the attacker's own
+// kernel thread speculatively reads a victim's memory through a Spectre v1
+// CVE gadget) and passive attacks (the victim's kernel thread is hijacked
+// via poisoned return/branch predictors into a disclosure gadget).
+//
+// Nothing here is scripted: a recovered secret byte travelled from the
+// victim's simulated memory, through a wrong-path load on the simulated
+// out-of-order core, into a real simulated cache line, and back out through
+// a timing measurement. A defense that blocks the wrong-path load makes the
+// same code recover nothing.
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/kimage"
+	"repro/internal/memsim"
+)
+
+// FlushReload is the attacker's covert-channel receiver for gadgets that
+// transmit into attacker-accessible memory: a 256-page user probe buffer,
+// one page per possible byte value.
+type FlushReload struct {
+	k *kernel.Kernel
+	t *kernel.Task
+	// Base is the probe buffer's user VA, passed to gadgets as the
+	// transmit base.
+	Base uint64
+	pas  [256]uint64
+}
+
+// NewFlushReload maps and resolves the probe buffer.
+func NewFlushReload(k *kernel.Kernel, t *kernel.Task) (*FlushReload, error) {
+	base, err := k.Syscall(t, kimage.NRMmap, 256*memsim.PageSize, 1)
+	if err != nil {
+		return nil, err
+	}
+	c := &FlushReload{k: k, t: t, Base: base}
+	for v := 0; v < 256; v++ {
+		pa, ok := t.AS.Translate(base + uint64(v)*memsim.PageSize)
+		if !ok {
+			return nil, fmt.Errorf("attack: probe page %d unmapped", v)
+		}
+		c.pas[v] = pa
+	}
+	return c, nil
+}
+
+// Flush evicts every probe line (clflush loop).
+func (c *FlushReload) Flush() {
+	for _, pa := range c.pas {
+		c.k.Core.H.FlushData(pa)
+	}
+}
+
+// Probe times a load of each probe line; a fast line means the transient
+// gadget touched it, and its index is the secret byte.
+func (c *FlushReload) Probe() (value byte, hit bool) {
+	h := c.k.Core.H
+	threshold := h.L2Lat + h.MemLat
+	best, bestLat := 0, threshold
+	for v := 0; v < 256; v++ {
+		if lat := h.ProbeLatency(c.pas[v]); lat < bestLat {
+			best, bestLat = v, lat
+		}
+	}
+	return byte(best), bestLat < threshold
+}
+
+// PrimeProbe is the receiver for gadgets that transmit into *kernel* memory
+// the attacker cannot touch: it measures evictions in the shared L2 sets
+// that the transmit region's lines map to. Eviction sets are built from the
+// attacker's own pages (eviction-set construction is standard technique; we
+// use the simulator's address knowledge in its stead).
+type PrimeProbe struct {
+	k     *kernel.Kernel
+	t     *kernel.Task
+	evict [256][]uint64 // per secret value: PAs of one L2 set's worth of lines
+}
+
+// NewPrimeProbe builds eviction sets for the 256 L2 sets covering
+// transmitBase + v*64 (the gadget's line-stride transmit region).
+func NewPrimeProbe(k *kernel.Kernel, t *kernel.Task, transmitBase uint64) (*PrimeProbe, error) {
+	l2 := k.Core.H.L2
+	ways := l2.Config().Ways
+	targetSet := make([]int, 256)
+	need := make(map[int][]int) // L2 set -> secret values
+	for v := 0; v < 256; v++ {
+		pa, ok := memsim.DirectMapPA(transmitBase+uint64(v*64), k.Phys.Bytes())
+		if !ok {
+			return nil, fmt.Errorf("attack: transmit base outside direct map")
+		}
+		s := l2.SetOf(pa)
+		targetSet[v] = s
+		need[s] = append(need[s], v)
+	}
+	// Allocate attacker pages until every target set has `ways` lines.
+	pp := &PrimeProbe{k: k, t: t}
+	remaining := len(need)
+	count := make(map[int]int)
+	for pages := 0; remaining > 0 && pages < 4096; pages += 8 {
+		base, err := k.Syscall(t, kimage.NRMmap, 8*memsim.PageSize, 1)
+		if err != nil {
+			return nil, err
+		}
+		for p := 0; p < 8; p++ {
+			pagePA, ok := t.AS.Translate(base + uint64(p)*memsim.PageSize)
+			if !ok {
+				continue
+			}
+			for line := uint64(0); line < memsim.PageSize; line += 64 {
+				pa := pagePA + line
+				s := l2.SetOf(pa)
+				vs, wanted := need[s]
+				if !wanted || count[s] >= ways {
+					continue
+				}
+				count[s]++
+				for _, v := range vs {
+					pp.evict[v] = append(pp.evict[v], pa)
+				}
+				if count[s] == ways {
+					remaining--
+				}
+			}
+		}
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("attack: could not build %d eviction sets", remaining)
+	}
+	return pp, nil
+}
+
+// Prime fills every target L2 set with the attacker's lines. Accesses go
+// through the whole hierarchy: the 16 same-set lines also thrash the
+// corresponding L1 set (L1-set index is the low bits of the L2-set index),
+// evicting any stale copy of the victim's transmit line from L1 — so the
+// victim's next transient transmit must go to L2 and leave a visible
+// eviction.
+func (pp *PrimeProbe) Prime() {
+	h := pp.k.Core.H
+	for v := 0; v < 256; v++ {
+		for _, pa := range pp.evict[v] {
+			h.AccessData(pa, true)
+		}
+	}
+}
+
+// Probe counts, per secret value, how many of the attacker's lines now miss
+// all the way to memory — i.e. were evicted from the primed L2 set. Probing
+// re-primes as a side effect.
+func (pp *PrimeProbe) Probe() [256]int {
+	h := pp.k.Core.H
+	threshold := h.L2Lat + h.MemLat
+	var misses [256]int
+	for v := 0; v < 256; v++ {
+		for _, pa := range pp.evict[v] {
+			if lat, _ := h.AccessData(pa, true); lat >= threshold {
+				misses[v]++
+			}
+		}
+	}
+	return misses
+}

@@ -1,0 +1,117 @@
+package attack
+
+// CVERow reproduces one row of Table 4.1: the paper's collection of
+// speculative-execution vulnerabilities targeting the Linux kernel.
+type CVERow struct {
+	Row         int
+	Primitive   string // attack primitive class
+	Mitigation  string // insufficient-mitigation category ("n/a" if none)
+	Refs        string // CVEs / papers
+	Description string
+	Origin      string
+	// PoC names the executable stand-in in this reproduction: a gadget
+	// function in the synthetic kernel and/or an attack entry point here.
+	PoC string
+	// Active reports whether the primitive enables active attacks (DSVs
+	// block those) — control-flow hijacking primitives serve passive
+	// attacks (ISVs block those).
+	Active bool
+}
+
+const (
+	primV1 = "Unauthorized speculative data access (Spectre v1)"
+	primCF = "Speculative control-flow hijacking (Spectre v2, Spectre RSB, and more)"
+)
+
+// Corpus is Table 4.1.
+var Corpus = []CVERow{
+	{
+		Row: 1, Primitive: primV1, Mitigation: "n/a",
+		Refs:        "CVE-2022-27223",
+		Description: "Array index is not validated",
+		Origin:      "Xilinx USB driver",
+		PoC:         "xusb_ioctl_gadget / ActiveSpectreV1",
+		Active:      true,
+	},
+	{
+		Row: 2, Primitive: primV1, Mitigation: "Misuse",
+		Refs:        "CVE-2019-15902",
+		Description: "Reintroduced Spectre vulnerabilities in backporting",
+		Origin:      "ptrace",
+		PoC:         "ptrace_peek_gadget (sys_ptrace)",
+		Active:      true,
+	},
+	{
+		Row: 3, Primitive: primV1, Mitigation: "n/a",
+		Refs:        "CVE-2021-31829, CVE-2019-7308, CVE-2020-27170/1, CVE-2021-29155",
+		Description: "Out-of-bounds speculation on pointer arithmetic",
+		Origin:      "eBPF verifier",
+		PoC:         "bpf_verifier_gadget (sys_bpf)",
+		Active:      true,
+	},
+	{
+		Row: 4, Primitive: primV1, Mitigation: "n/a",
+		Refs:        "CVE-2021-33624, Kirzner & Morrison '21",
+		Description: "Speculative type confusion",
+		Origin:      "eBPF verifier",
+		PoC:         "type_confuse_gadget",
+		Active:      true,
+	},
+	{
+		Row: 5, Primitive: primCF, Mitigation: "Hardware",
+		Refs:        "CVE-2022-0001/2, CVE-2022-23960, BHI",
+		Description: "Branch history injection bypasses eIBRS",
+		Origin:      "Indirect calls and jumps",
+		PoC:         "PassiveSpectreV2 (BTB aliasing injection)",
+	},
+	{
+		Row: 6, Primitive: primCF, Mitigation: "Software",
+		Refs:        "CVE-2021-26401",
+		Description: "LFENCE/JMP is insufficient on AMD",
+		Origin:      "Indirect calls and jumps",
+		PoC:         "PassiveSpectreV2",
+	},
+	{
+		Row: 7, Primitive: primCF, Mitigation: "Software",
+		Refs:        "CVE-2022-29900/1, Retbleed",
+		Description: "Return instructions mispredict from BTB/stale RSB under retpoline",
+		Origin:      "Retpoline",
+		PoC:         "PassiveRetbleed (RSB underflow onto stale entries)",
+	},
+	{
+		Row: 8, Primitive: primCF, Mitigation: "Misuse",
+		Refs:        "CVE-2022-2196",
+		Description: "Missing retpolines or IBPB",
+		Origin:      "KVM",
+		PoC:         "PassiveSpectreV2 with SpotPolicy disabled",
+	},
+	{
+		Row: 9, Primitive: primCF, Mitigation: "Misuse",
+		Refs:        "CVE-2019-18660, CVE-2020-10767, CVE-2022-23824, CVE-2023-1998",
+		Description: "Improper use of hardware mitigations",
+		Origin:      "Indirect calls and jumps",
+		PoC:         "PassiveSpectreV2",
+	},
+}
+
+// ActiveRows returns the rows whose primitive enables active attacks.
+func ActiveRows() []CVERow {
+	var out []CVERow
+	for _, r := range Corpus {
+		if r.Active {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PassiveRows returns the control-flow hijacking rows.
+func PassiveRows() []CVERow {
+	var out []CVERow
+	for _, r := range Corpus {
+		if !r.Active {
+			out = append(out, r)
+		}
+	}
+	return out
+}

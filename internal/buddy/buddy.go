@@ -1,0 +1,219 @@
+// Package buddy implements the binary buddy page-frame allocator — the
+// equivalent of Linux's alloc_pages()/free_pages() path, which is
+// Perspective's primary DSV hook (§6.1): every allocation records the
+// requesting context, so the kernel can associate the allocated frames'
+// direct-map pages with that context's DSV, and every free disassociates
+// them.
+package buddy
+
+import (
+	"fmt"
+
+	"repro/internal/sec"
+)
+
+// MaxOrder is the largest supported block: 2^10 pages = 4MB, as in Linux.
+const MaxOrder = 10
+
+// Stats counts allocator activity.
+type Stats struct {
+	Allocs       uint64
+	Frees        uint64
+	Splits       uint64
+	Coalesces    uint64
+	FailedAllocs uint64
+}
+
+type block struct {
+	order int
+	ctx   sec.Ctx
+}
+
+// Allocator manages a contiguous range of page frames [0, frames).
+// Allocation order is deterministic: each order keeps a LIFO stack (with
+// lazy deletion) besides its membership map, so identical call sequences
+// always hand out identical frames — a requirement for reproducible
+// simulations.
+type Allocator struct {
+	frames uint64
+	// free[o] holds the start PFNs of free blocks of order o.
+	free [MaxOrder + 1]map[uint64]bool
+	// stack[o] is the LIFO pop order for order o; entries absent from
+	// free[o] are stale and skipped.
+	stack [MaxOrder + 1][]uint64
+	// allocated maps block start PFN -> its allocation record.
+	allocated map[uint64]block
+	freePages uint64
+	stats     Stats
+}
+
+// New creates an allocator over the given number of frames. Frames need not
+// be a power of two; the range is tiled greedily with maximal blocks.
+func New(frames uint64) *Allocator {
+	if frames == 0 {
+		panic("buddy: zero frames")
+	}
+	a := &Allocator{frames: frames, allocated: make(map[uint64]block)}
+	for o := range a.free {
+		a.free[o] = make(map[uint64]bool)
+	}
+	// Tile the range, collecting blocks, then push high-to-low so the
+	// first allocations pop the lowest frames (boot reserves low memory).
+	type tile struct {
+		pfn uint64
+		o   int
+	}
+	var tiles []tile
+	pfn := uint64(0)
+	for pfn < frames {
+		o := MaxOrder
+		for o > 0 && (pfn%(1<<uint(o)) != 0 || pfn+(1<<uint(o)) > frames) {
+			o--
+		}
+		tiles = append(tiles, tile{pfn, o})
+		pfn += 1 << uint(o)
+	}
+	for i := len(tiles) - 1; i >= 0; i-- {
+		a.pushFree(tiles[i].o, tiles[i].pfn)
+	}
+	a.freePages = frames
+	return a
+}
+
+// Frames reports the managed frame count.
+func (a *Allocator) Frames() uint64 { return a.frames }
+
+// FreePages reports currently free pages.
+func (a *Allocator) FreePages() uint64 { return a.freePages }
+
+// Stats returns a copy of the counters.
+func (a *Allocator) Stats() Stats { return a.stats }
+
+// AllocPages allocates a 2^order-page block on behalf of ctx, returning the
+// first PFN. This is the point where Perspective learns data ownership: "The
+// kernel buddy allocator obtains the cgroup ID of the current process
+// context during allocations" (§6.1).
+func (a *Allocator) AllocPages(order int, ctx sec.Ctx) (pfn uint64, ok bool) {
+	if order < 0 || order > MaxOrder {
+		return 0, false
+	}
+	o := order
+	for o <= MaxOrder && len(a.free[o]) == 0 {
+		o++
+	}
+	if o > MaxOrder {
+		a.stats.FailedAllocs++
+		return 0, false
+	}
+	pfn = a.popFree(o)
+	// Split down to the requested order, releasing upper buddies.
+	for o > order {
+		o--
+		a.stats.Splits++
+		a.pushFree(o, pfn+(1<<uint(o)))
+	}
+	a.allocated[pfn] = block{order: order, ctx: ctx}
+	a.freePages -= 1 << uint(order)
+	a.stats.Allocs++
+	return pfn, true
+}
+
+// Free releases the block starting at pfn, coalescing with free buddies. It
+// returns the block's order and owning context so the caller can revoke DSV
+// ownership.
+func (a *Allocator) Free(pfn uint64) (order int, ctx sec.Ctx, err error) {
+	b, ok := a.allocated[pfn]
+	if !ok {
+		return 0, 0, fmt.Errorf("buddy: free of unallocated pfn %d", pfn)
+	}
+	delete(a.allocated, pfn)
+	a.freePages += 1 << uint(b.order)
+	a.stats.Frees++
+	o, p := b.order, pfn
+	for o < MaxOrder {
+		buddyPFN := p ^ (1 << uint(o))
+		if !a.free[o][buddyPFN] {
+			break
+		}
+		delete(a.free[o], buddyPFN) // stale stack entry skipped lazily
+		a.stats.Coalesces++
+		if buddyPFN < p {
+			p = buddyPFN
+		}
+		o++
+	}
+	a.pushFree(o, p)
+	return b.order, b.ctx, nil
+}
+
+func (a *Allocator) pushFree(o int, pfn uint64) {
+	a.free[o][pfn] = true
+	a.stack[o] = append(a.stack[o], pfn)
+}
+
+// popFree pops the most recently freed live block of order o. The caller
+// guarantees free[o] is non-empty.
+func (a *Allocator) popFree(o int) uint64 {
+	for {
+		s := a.stack[o]
+		pfn := s[len(s)-1]
+		a.stack[o] = s[:len(s)-1]
+		if a.free[o][pfn] {
+			delete(a.free[o], pfn)
+			return pfn
+		}
+	}
+}
+
+// OwnerOf returns the context owning the allocated block that contains pfn,
+// or ok=false for free frames. It scans downward through possible block
+// starts (cheap: at most MaxOrder+1 lookups).
+func (a *Allocator) OwnerOf(pfn uint64) (sec.Ctx, bool) {
+	for o := 0; o <= MaxOrder; o++ {
+		start := pfn &^ ((1 << uint(o)) - 1)
+		if b, ok := a.allocated[start]; ok && b.order >= o && start+(1<<uint(b.order)) > pfn {
+			return b.ctx, true
+		}
+	}
+	return 0, false
+}
+
+// BlockOrder returns the order of the allocated block starting at pfn.
+func (a *Allocator) BlockOrder(pfn uint64) (int, bool) {
+	b, ok := a.allocated[pfn]
+	return b.order, ok
+}
+
+// checkInvariants validates internal consistency; tests call it.
+func (a *Allocator) checkInvariants() error {
+	var free uint64
+	seen := make(map[uint64]int)
+	for o, m := range a.free {
+		for p := range m {
+			if p%(1<<uint(o)) != 0 {
+				return fmt.Errorf("misaligned free block pfn=%d order=%d", p, o)
+			}
+			if p+(1<<uint(o)) > a.frames {
+				return fmt.Errorf("free block out of range pfn=%d order=%d", p, o)
+			}
+			for i := uint64(0); i < 1<<uint(o); i++ {
+				if prev, dup := seen[p+i]; dup {
+					return fmt.Errorf("page %d in two free blocks (orders %d,%d)", p+i, prev, o)
+				}
+				seen[p+i] = o
+			}
+			free += 1 << uint(o)
+		}
+	}
+	if free != a.freePages {
+		return fmt.Errorf("freePages=%d but lists hold %d", a.freePages, free)
+	}
+	for p, b := range a.allocated {
+		for i := uint64(0); i < 1<<uint(b.order); i++ {
+			if _, dup := seen[p+i]; dup {
+				return fmt.Errorf("page %d both free and allocated", p+i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package buddy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sec"
+)
+
+func TestAllocFree(t *testing.T) {
+	a := New(1024)
+	pfn, ok := a.AllocPages(0, 2)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if a.FreePages() != 1023 {
+		t.Errorf("free = %d", a.FreePages())
+	}
+	order, ctx, err := a.Free(pfn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order != 0 || ctx != 2 {
+		t.Errorf("order=%d ctx=%d", order, ctx)
+	}
+	if a.FreePages() != 1024 {
+		t.Errorf("free after = %d", a.FreePages())
+	}
+}
+
+func TestOrderAllocationAligned(t *testing.T) {
+	a := New(1024)
+	for order := 0; order <= MaxOrder; order++ {
+		pfn, ok := a.AllocPages(order, 2)
+		if !ok {
+			t.Fatalf("order %d alloc failed", order)
+		}
+		if pfn%(1<<uint(order)) != 0 {
+			t.Errorf("order %d block misaligned: pfn=%d", order, pfn)
+		}
+		if _, _, err := a.Free(pfn); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := New(8)
+	var got []uint64
+	for {
+		pfn, ok := a.AllocPages(0, 2)
+		if !ok {
+			break
+		}
+		got = append(got, pfn)
+	}
+	if len(got) != 8 {
+		t.Errorf("allocated %d pages from 8-frame pool", len(got))
+	}
+	if a.Stats().FailedAllocs != 1 {
+		t.Errorf("failed allocs = %d", a.Stats().FailedAllocs)
+	}
+	// Distinct frames.
+	seen := map[uint64]bool{}
+	for _, p := range got {
+		if seen[p] {
+			t.Errorf("pfn %d handed out twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	a := New(16)
+	p0, _ := a.AllocPages(0, 2)
+	p1, _ := a.AllocPages(0, 2)
+	a.Free(p0)
+	a.Free(p1)
+	// After both buddies are free they must coalesce so an order-4 alloc
+	// (the whole pool) succeeds.
+	big, ok := a.AllocPages(4, 2)
+	if !ok {
+		t.Fatal("order-4 alloc failed after frees: no coalescing")
+	}
+	if big != 0 {
+		t.Errorf("big block at %d", big)
+	}
+}
+
+func TestDoubleFreeRejected(t *testing.T) {
+	a := New(16)
+	p, _ := a.AllocPages(0, 2)
+	if _, _, err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Free(p); err == nil {
+		t.Error("double free accepted")
+	}
+}
+
+func TestOwnerOf(t *testing.T) {
+	a := New(64)
+	p, _ := a.AllocPages(2, 7) // 4 pages
+	for i := uint64(0); i < 4; i++ {
+		ctx, ok := a.OwnerOf(p + i)
+		if !ok || ctx != 7 {
+			t.Errorf("page %d: ctx=%d ok=%v", p+i, ctx, ok)
+		}
+	}
+	if _, ok := a.OwnerOf(p + 4); ok {
+		t.Error("free page has owner")
+	}
+}
+
+func TestNonPowerOfTwoFrames(t *testing.T) {
+	a := New(1000)
+	if a.FreePages() != 1000 {
+		t.Errorf("free = %d", a.FreePages())
+	}
+	if err := a.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+	n := uint64(0)
+	for {
+		if _, ok := a.AllocPages(0, 2); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1000 {
+		t.Errorf("allocated %d of 1000", n)
+	}
+}
+
+// Property: random alloc/free churn preserves all invariants and never
+// hands out overlapping blocks.
+func TestChurnInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := New(512)
+	live := map[uint64]int{} // pfn -> order
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(2) == 0 || len(live) == 0 {
+			order := rng.Intn(4)
+			pfn, ok := a.AllocPages(order, sec.Ctx(rng.Intn(5)+2))
+			if ok {
+				for have := range live {
+					ho := live[have]
+					if pfn < have+(1<<uint(ho)) && have < pfn+(1<<uint(order)) {
+						t.Fatalf("overlap: new [%d,+%d) vs live [%d,+%d)", pfn, 1<<uint(order), have, 1<<uint(ho))
+					}
+				}
+				live[pfn] = order
+			}
+		} else {
+			for p := range live {
+				if _, _, err := a.Free(p); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, p)
+				break
+			}
+		}
+	}
+	if err := a.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+	for p := range live {
+		a.Free(p)
+	}
+	if a.FreePages() != 512 {
+		t.Errorf("leak: free = %d", a.FreePages())
+	}
+	if err := a.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: alloc-then-free of any order restores the free page count.
+func TestAllocFreeRoundTrip(t *testing.T) {
+	f := func(orderSeed uint8) bool {
+		order := int(orderSeed) % (MaxOrder + 1)
+		a := New(2048)
+		before := a.FreePages()
+		pfn, ok := a.AllocPages(order, 3)
+		if !ok {
+			return false
+		}
+		if a.FreePages() != before-(1<<uint(order)) {
+			return false
+		}
+		if _, _, err := a.Free(pfn); err != nil {
+			return false
+		}
+		return a.FreePages() == before && a.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadOrderRejected(t *testing.T) {
+	a := New(16)
+	if _, ok := a.AllocPages(-1, 2); ok {
+		t.Error("negative order accepted")
+	}
+	if _, ok := a.AllocPages(MaxOrder+1, 2); ok {
+		t.Error("over-max order accepted")
+	}
+}
+
+func TestBlockOrder(t *testing.T) {
+	a := New(64)
+	p, _ := a.AllocPages(3, 2)
+	o, ok := a.BlockOrder(p)
+	if !ok || o != 3 {
+		t.Errorf("order = %d, %v", o, ok)
+	}
+	if _, ok := a.BlockOrder(p + 1); ok {
+		t.Error("non-start pfn has a block order")
+	}
+}

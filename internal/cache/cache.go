@@ -1,0 +1,319 @@
+// Package cache models the physically indexed cache hierarchy of Table 7.1:
+// private L1 instruction and data caches, a shared L2 slice, and a flat DRAM
+// latency behind it. Speculative (wrong-path) loads fill lines exactly like
+// committed loads — that is the covert channel every Spectre variant in the
+// paper transmits over — but, following Perspective's hardware rules (§6.2),
+// a speculative hit does not update LRU state until the access reaches its
+// visibility point.
+package cache
+
+import "fmt"
+
+// Level identifies where an access was satisfied.
+type Level int
+
+const (
+	// LevelL1 is a first-level hit.
+	LevelL1 Level = iota
+	// LevelL2 is a second-level hit.
+	LevelL2
+	// LevelMem is a DRAM access.
+	LevelMem
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	default:
+		return "Mem"
+	}
+}
+
+// Config describes one cache array.
+type Config struct {
+	Sets      int
+	Ways      int
+	LineBytes int
+}
+
+// Lines reports the capacity in lines.
+func (c Config) Lines() int { return c.Sets * c.Ways }
+
+// Bytes reports the capacity in bytes.
+func (c Config) Bytes() int { return c.Lines() * c.LineBytes }
+
+// Stats counts accesses for one cache array.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Fills    uint64
+	Flushes  uint64
+}
+
+// HitRate returns hits/accesses, or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cache is one set-associative array with true-LRU replacement.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	tags      []uint64
+	valid     []bool
+	stamp     []uint64 // LRU timestamps
+	clock     uint64
+	stats     Stats
+}
+
+// New creates a cache. Sets must be a power of two.
+func New(cfg Config) *Cache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.LineBytes <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	if cfg.Sets&(cfg.Sets-1) != 0 {
+		panic("cache: sets must be a power of two")
+	}
+	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("cache: line size must be a power of two")
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	n := cfg.Sets * cfg.Ways
+	return &Cache{
+		cfg:       cfg,
+		lineShift: shift,
+		setMask:   uint64(cfg.Sets - 1),
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		stamp:     make([]uint64, n),
+	}
+}
+
+// Config returns the geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	line := addr >> c.lineShift
+	return int(line & c.setMask), line >> log2(uint64(c.cfg.Sets))
+}
+
+// log2 returns the base-2 logarithm of a power of two.
+func log2(u uint64) uint {
+	n := uint(0)
+	for u > 1 {
+		u >>= 1
+		n++
+	}
+	return n
+}
+
+// SetOf returns the set index addr maps to; the attack framework uses it to
+// build prime+probe eviction sets.
+func (c *Cache) SetOf(addr uint64) int {
+	s, _ := c.index(addr)
+	return s
+}
+
+// Lookup reports whether addr is present without changing any state (used by
+// Delay-on-Miss to probe L1 before deciding whether a speculative load is
+// safe).
+func (c *Cache) Lookup(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access looks up addr, filling on a miss (evicting the LRU way), and
+// returns whether it hit. When updateLRU is false a hit leaves replacement
+// state untouched — Perspective defers LRU updates for speculative accesses
+// until the visibility point (§6.2); the caller re-invokes Touch at VP.
+func (c *Cache) Access(addr uint64, updateLRU bool) bool {
+	c.clock++
+	c.stats.Accesses++
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	victim := -1
+	var victimStamp uint64
+	hasInvalid := false
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.stats.Hits++
+			if updateLRU {
+				c.stamp[i] = c.clock
+			}
+			return true
+		}
+		switch {
+		case !c.valid[i] && !hasInvalid:
+			victim, hasInvalid = i, true
+		case !hasInvalid && (victim == -1 || c.stamp[i] < victimStamp):
+			victim, victimStamp = i, c.stamp[i]
+		}
+	}
+	// Miss: fill. Even speculative fills happen on baseline hardware — this
+	// is the transmission step of every PoC in internal/attack.
+	c.stats.Fills++
+	c.valid[victim] = true
+	c.tags[victim] = tag
+	c.stamp[victim] = c.clock
+	return false
+}
+
+// Touch updates LRU for a line already present (visibility-point LRU update).
+// It is a no-op if the line was evicted in the meantime.
+func (c *Cache) Touch(addr uint64) {
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.clock++
+			c.stamp[i] = c.clock
+			return
+		}
+	}
+}
+
+// Flush invalidates the line containing addr if present (clflush).
+func (c *Cache) Flush(addr uint64) {
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.valid[i] = false
+			c.stats.Flushes++
+			return
+		}
+	}
+}
+
+// InvalidateAll empties the cache (used to model the L1D flush mitigation
+// comparison and to reset between experiments).
+func (c *Cache) InvalidateAll() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// Hierarchy is the paper's two-core cache system collapsed to the view of a
+// single simulated hardware thread: per-core L1I/L1D in front of a shared
+// L2, with DRAM behind. Latencies are round-trip cycles per Table 7.1.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+
+	L1Lat  int
+	L2Lat  int
+	MemLat int
+
+	// NextLinePrefetch enables the simple L1 hardware prefetcher of Table
+	// 7.1 (one per L1): on an L1 miss, the sequentially next line is filled
+	// too. Covert-channel probe arrays use page-sized strides precisely so
+	// such prefetchers cannot mask the signal.
+	NextLinePrefetch bool
+}
+
+// Table 7.1 geometry.
+var (
+	DefaultL1I = Config{Sets: 128, Ways: 4, LineBytes: 64}   // 32 KB
+	DefaultL1D = Config{Sets: 64, Ways: 8, LineBytes: 64}    // 32 KB
+	DefaultL2  = Config{Sets: 2048, Ways: 16, LineBytes: 64} // 2 MB
+)
+
+// NewDefaultHierarchy builds the Table 7.1 hierarchy: 32KB L1I (4-way), 32KB
+// L1D (8-way), 2MB L2 slice (16-way), 2/8-cycle round trips and 100 cycles
+// of DRAM beyond L2 (50ns at 2GHz).
+func NewDefaultHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1I:              New(DefaultL1I),
+		L1D:              New(DefaultL1D),
+		L2:               New(DefaultL2),
+		L1Lat:            2,
+		L2Lat:            8,
+		MemLat:           100,
+		NextLinePrefetch: true,
+	}
+}
+
+// AccessData performs a data access at physical address pa and returns its
+// latency and the level that satisfied it. updateLRU=false marks a
+// speculative access whose replacement update is deferred.
+func (h *Hierarchy) AccessData(pa uint64, updateLRU bool) (lat int, lvl Level) {
+	if h.L1D.Access(pa, updateLRU) {
+		return h.L1Lat, LevelL1
+	}
+	if h.NextLinePrefetch {
+		h.L1D.Access(pa+uint64(h.L1D.cfg.LineBytes), false)
+	}
+	if h.L2.Access(pa, updateLRU) {
+		return h.L2Lat, LevelL2
+	}
+	return h.L2Lat + h.MemLat, LevelMem
+}
+
+// AccessInst performs an instruction fetch at pa.
+func (h *Hierarchy) AccessInst(pa uint64) (lat int, lvl Level) {
+	if h.L1I.Access(pa, true) {
+		return h.L1Lat, LevelL1
+	}
+	if h.NextLinePrefetch {
+		h.L1I.Access(pa+uint64(h.L1I.cfg.LineBytes), false)
+	}
+	if h.L2.Access(pa, true) {
+		return h.L2Lat, LevelL2
+	}
+	return h.L2Lat + h.MemLat, LevelMem
+}
+
+// TouchData applies the deferred visibility-point LRU update for pa.
+func (h *Hierarchy) TouchData(pa uint64) {
+	h.L1D.Touch(pa)
+	h.L2.Touch(pa)
+}
+
+// FlushData evicts pa from the entire data hierarchy (clflush), the setup
+// step of flush+reload.
+func (h *Hierarchy) FlushData(pa uint64) {
+	h.L1D.Flush(pa)
+	h.L2.Flush(pa)
+}
+
+// ProbeLatency times a data load without disturbing replacement state more
+// than a real timed load would; the attacker's reload step. It is exactly
+// AccessData with LRU updates (the attacker's load is architectural).
+func (h *Hierarchy) ProbeLatency(pa uint64) int {
+	lat, _ := h.AccessData(pa, true)
+	return lat
+}
+
+func (h *Hierarchy) String() string {
+	return fmt.Sprintf("L1I %dKB/%d-way, L1D %dKB/%d-way, L2 %dKB/%d-way, lat %d/%d/+%d",
+		h.L1I.cfg.Bytes()/1024, h.L1I.cfg.Ways,
+		h.L1D.cfg.Bytes()/1024, h.L1D.cfg.Ways,
+		h.L2.cfg.Bytes()/1024, h.L2.cfg.Ways,
+		h.L1Lat, h.L2Lat, h.MemLat)
+}

@@ -1,0 +1,113 @@
+// Package callgraph performs the static binary analysis of §6.1 (the
+// radare2-based component): it builds the kernel call graph and computes,
+// for a set of syscall entry points, the set of functions reachable over
+// *direct* call edges.
+//
+// Indirect calls are the deliberate blind spot (§5.3, Figure 5.3a): their
+// targets cannot be resolved statically, so functions reachable only through
+// them are "reachable-only" nodes that static ISVs exclude — the source of
+// both static ISVs' residual overhead (blocked-but-safe indirect targets)
+// and their residual surface (unreachable driver islands stay out).
+package callgraph
+
+import (
+	"sort"
+
+	"repro/internal/kimage"
+)
+
+// Graph is the kernel call graph.
+type Graph struct {
+	img *kimage.Image
+}
+
+// New builds the graph for an image (edges are already recorded per
+// function by the linker).
+func New(img *kimage.Image) *Graph { return &Graph{img: img} }
+
+// Reachable returns the set of function IDs reachable from the roots over
+// direct call edges (inclusive of the roots).
+func (g *Graph) Reachable(roots []int) map[int]bool {
+	seen := make(map[int]bool)
+	stack := append([]int(nil), roots...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		f := g.img.FuncByID(id)
+		if f == nil {
+			continue
+		}
+		seen[id] = true
+		stack = append(stack, f.Callees...)
+		// Indirect targets enumerable from static tables (f_op structs
+		// compiled into the image) are visible to the analyzer.
+		stack = append(stack, f.StaticIndirect...)
+	}
+	return seen
+}
+
+// ReachableWithIndirect also follows indirect-call ground truth — the
+// oracle reachability used for surface accounting, not available to static
+// ISV generation.
+func (g *Graph) ReachableWithIndirect(roots []int) map[int]bool {
+	seen := make(map[int]bool)
+	stack := append([]int(nil), roots...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		f := g.img.FuncByID(id)
+		if f == nil {
+			continue
+		}
+		seen[id] = true
+		stack = append(stack, f.Callees...)
+		stack = append(stack, f.StaticIndirect...)
+		stack = append(stack, f.IndirectCallees...)
+	}
+	return seen
+}
+
+// SyscallRoots maps syscall numbers to entry function IDs, dropping numbers
+// with no entry.
+func (g *Graph) SyscallRoots(nrs []int) []int {
+	var roots []int
+	for _, nr := range nrs {
+		if f := g.img.SyscallEntry(nr); f != nil {
+			roots = append(roots, f.ID)
+		}
+	}
+	return roots
+}
+
+// SyscallClosure returns the sorted IDs statically reachable from the given
+// syscalls.
+func (g *Graph) SyscallClosure(nrs []int) []int {
+	return sortedIDs(g.Reachable(g.SyscallRoots(nrs)))
+}
+
+// WholeKernelClosure returns everything reachable from every syscall entry,
+// direct and indirect — the attacker-relevant kernel.
+func (g *Graph) WholeKernelClosure() []int {
+	var roots []int
+	for _, f := range g.img.Funcs() {
+		if f.SyscallNR >= 0 {
+			roots = append(roots, f.ID)
+		}
+	}
+	return sortedIDs(g.ReachableWithIndirect(roots))
+}
+
+func sortedIDs(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,123 @@
+// Package cgroup models the control-group hierarchy Perspective uses for
+// resource tracking (§6.1): each container runs in its own cgroup, and the
+// cgroup ID is the execution-context identifier that DSVs and ISVs key on.
+package cgroup
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sec"
+)
+
+// Group is one control group.
+type Group struct {
+	ID     sec.Ctx
+	Name   string
+	Parent *Group
+
+	// PagesCharged tracks resource accounting (pages currently owned).
+	PagesCharged uint64
+}
+
+// Path returns the /-separated hierarchy path.
+func (g *Group) Path() string {
+	if g.Parent == nil {
+		return "/" + g.Name
+	}
+	return g.Parent.Path() + "/" + g.Name
+}
+
+// Manager owns the hierarchy and allocates context IDs.
+type Manager struct {
+	root   *Group
+	byID   map[sec.Ctx]*Group
+	byName map[string]*Group
+	nextID sec.Ctx
+}
+
+// NewManager creates the hierarchy with a root group owned by the kernel
+// context.
+func NewManager() *Manager {
+	root := &Group{ID: sec.CtxKernel, Name: ""}
+	m := &Manager{
+		root:   root,
+		byID:   map[sec.Ctx]*Group{root.ID: root},
+		byName: map[string]*Group{},
+		nextID: sec.CtxFirstUser,
+	}
+	return m
+}
+
+// Root returns the root group.
+func (m *Manager) Root() *Group { return m.root }
+
+// Create adds a child group under parent (nil means root) and assigns it a
+// fresh context ID.
+func (m *Manager) Create(name string, parent *Group) (*Group, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cgroup: empty name")
+	}
+	if parent == nil {
+		parent = m.root
+	}
+	if _, dup := m.byName[name]; dup {
+		return nil, fmt.Errorf("cgroup: %q exists", name)
+	}
+	g := &Group{ID: m.nextID, Name: name, Parent: parent}
+	m.nextID++
+	m.byID[g.ID] = g
+	m.byName[name] = g
+	return g, nil
+}
+
+// ByID resolves a context ID.
+func (m *Manager) ByID(id sec.Ctx) (*Group, bool) {
+	g, ok := m.byID[id]
+	return g, ok
+}
+
+// ByName resolves a group name.
+func (m *Manager) ByName(name string) (*Group, bool) {
+	g, ok := m.byName[name]
+	return g, ok
+}
+
+// Remove deletes a leaf group.
+func (m *Manager) Remove(g *Group) error {
+	if g == m.root {
+		return fmt.Errorf("cgroup: cannot remove root")
+	}
+	for _, o := range m.byID {
+		if o.Parent == g {
+			return fmt.Errorf("cgroup: %q has children", g.Name)
+		}
+	}
+	delete(m.byID, g.ID)
+	delete(m.byName, g.Name)
+	return nil
+}
+
+// Charge accounts pages to a group (buddy allocation hook).
+func (m *Manager) Charge(id sec.Ctx, pages uint64) {
+	if g, ok := m.byID[id]; ok {
+		g.PagesCharged += pages
+	}
+}
+
+// Uncharge releases accounted pages.
+func (m *Manager) Uncharge(id sec.Ctx, pages uint64) {
+	if g, ok := m.byID[id]; ok && g.PagesCharged >= pages {
+		g.PagesCharged -= pages
+	}
+}
+
+// Groups lists all groups in ID order.
+func (m *Manager) Groups() []*Group {
+	out := make([]*Group, 0, len(m.byID))
+	for _, g := range m.byID {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

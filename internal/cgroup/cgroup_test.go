@@ -1,0 +1,106 @@
+package cgroup
+
+import (
+	"testing"
+
+	"repro/internal/sec"
+)
+
+func TestCreateAssignsDistinctIDs(t *testing.T) {
+	m := NewManager()
+	a, err := m.Create("web", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Create("db", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == b.ID {
+		t.Error("two groups share a context ID")
+	}
+	if a.ID < sec.CtxFirstUser || b.ID < sec.CtxFirstUser {
+		t.Error("user group got a reserved context ID")
+	}
+}
+
+func TestLookups(t *testing.T) {
+	m := NewManager()
+	g, _ := m.Create("web", nil)
+	if got, ok := m.ByID(g.ID); !ok || got != g {
+		t.Error("ByID failed")
+	}
+	if got, ok := m.ByName("web"); !ok || got != g {
+		t.Error("ByName failed")
+	}
+	if _, ok := m.ByName("nope"); ok {
+		t.Error("ByName found ghost")
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	m := NewManager()
+	m.Create("web", nil)
+	if _, err := m.Create("web", nil); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := m.Create("", nil); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestHierarchyPath(t *testing.T) {
+	m := NewManager()
+	parent, _ := m.Create("pods", nil)
+	child, _ := m.Create("pod-1", parent)
+	if child.Path() != "//pods/pod-1" {
+		t.Errorf("path = %q", child.Path())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	m := NewManager()
+	parent, _ := m.Create("pods", nil)
+	child, _ := m.Create("pod-1", parent)
+	if err := m.Remove(parent); err == nil {
+		t.Error("removed group with children")
+	}
+	if err := m.Remove(child); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove(parent); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove(m.Root()); err == nil {
+		t.Error("removed root")
+	}
+}
+
+func TestChargeUncharge(t *testing.T) {
+	m := NewManager()
+	g, _ := m.Create("web", nil)
+	m.Charge(g.ID, 10)
+	m.Uncharge(g.ID, 4)
+	if g.PagesCharged != 6 {
+		t.Errorf("charged = %d", g.PagesCharged)
+	}
+	m.Uncharge(g.ID, 100) // over-uncharge ignored
+	if g.PagesCharged != 6 {
+		t.Errorf("charged after over-uncharge = %d", g.PagesCharged)
+	}
+}
+
+func TestGroupsOrdered(t *testing.T) {
+	m := NewManager()
+	m.Create("b", nil)
+	m.Create("a", nil)
+	gs := m.Groups()
+	if len(gs) != 3 { // root + 2
+		t.Fatalf("groups = %d", len(gs))
+	}
+	for i := 1; i < len(gs); i++ {
+		if gs[i-1].ID >= gs[i].ID {
+			t.Error("groups not ID-ordered")
+		}
+	}
+}

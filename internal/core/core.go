@@ -1,0 +1,23 @@
+// Package core documents where the paper's primary contribution lives in
+// this repository. Perspective's core is the pair of speculation-view
+// mechanisms and their hardware enforcement, which are implemented across
+// three sibling packages kept separate so each can be tested and reasoned
+// about in isolation:
+//
+//   - repro/internal/dsv — Data Speculation Views: the per-context DSVMT
+//     (three-level, 4KB/2MB/1GB entries) and the 128-entry ASID-tagged DSV
+//     hardware cache. Ownership is written by the kernel's allocation paths
+//     (repro/internal/kernel, repro/internal/buddy, repro/internal/slab).
+//
+//   - repro/internal/isv — Instruction Speculation Views: per-context
+//     instruction-granular trusted-code bitmaps (the ISV pages of Figure
+//     6.1a), the ISV hardware cache, and the pliable runtime interface
+//     (install, shrink, exclude-function live patching).
+//
+//   - repro/internal/schemes — the hardware policy that consults both views
+//     on every speculative transmitter and blocks violations until the
+//     visibility point (PerspectivePolicy), alongside the baseline defenses
+//     the paper compares against.
+//
+// The façade for all of it is the public package repro/perspective.
+package core

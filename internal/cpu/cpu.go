@@ -1,0 +1,631 @@
+// Package cpu implements the speculative out-of-order timing core that
+// stands in for the paper's gem5 O3 model (Table 7.1). It is execute-driven:
+// kernel code compiled to the internal/isa instruction set runs against real
+// simulated memory, so a mispredicted branch genuinely executes wrong-path
+// instructions whose loads fill real cache lines — the covert channel every
+// Spectre variant transmits over — before being squashed.
+//
+// # Timing model
+//
+// Instead of a cycle-by-cycle pipeline, the core uses the standard
+// interval-simulation compromise: a dependence-chain scoreboard. Fetch
+// advances 1/width cycles per instruction, a ring of the last ROB-size
+// commit times bounds how far fetch may run ahead, per-register ready times
+// serialize dependent instructions, and every branch opens a *shadow*
+// lasting until its resolution. An instruction whose issue time falls inside
+// a shadow is speculative: it may be delayed to the shadow's end (its
+// Visibility Point, §6.2) by the active defense Policy. This reproduces the
+// paper's overhead structure exactly — FENCE pays on every shadowed load,
+// Delay-on-Miss only on shadowed L1 misses, STT only on shadowed tainted
+// transmitters, Perspective only on view violations and view-cache misses —
+// at simulation speeds ~1000x gem5.
+package cpu
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/memsim"
+	"repro/internal/predict"
+	"repro/internal/sec"
+)
+
+// Config holds the core parameters of Table 7.1.
+type Config struct {
+	Width             int // issue width (8)
+	ROB               int // reorder buffer entries (192)
+	MispredictPenalty int // frontend redirect cycles after a squash
+	// ExecDelay is the fetch-to-execute pipeline depth: a control
+	// instruction cannot resolve earlier than ExecDelay cycles after its
+	// fetch slot, which is what gives branch shadows their realistic
+	// length (and FENCE-style defenses their cost).
+	ExecDelay       int
+	KernelEntryCost int // base user->kernel mode switch cost, each way
+	MulLatency      int // variable-latency port op (the Port channel)
+	MaxTransient    int // cap on wrong-path instructions per squash
+	// FencePenalty is the issue/LSQ occupancy cost charged to the frontend
+	// per committed-path fence: a delayed load holds its load-queue entry
+	// and re-issues at the visibility point, consuming scheduler bandwidth
+	// even when its latency is hidden.
+	FencePenalty float64
+}
+
+// DefaultConfig returns the Table 7.1 core: 8-issue, 192-entry ROB.
+func DefaultConfig() Config {
+	return Config{
+		Width:             8,
+		ROB:               192,
+		MispredictPenalty: 12,
+		ExecDelay:         10,
+		KernelEntryCost:   120,
+		MulLatency:        3,
+		MaxTransient:      64,
+		FencePenalty:      0.2,
+	}
+}
+
+// CodeSource resolves instruction fetches. The kernel image and per-process
+// user code segments compose into one source.
+type CodeSource interface {
+	FetchInst(va uint64) (isa.Inst, bool)
+}
+
+// Tracer observes committed function entries; the ftrace-equivalent
+// (internal/ktrace) implements it to build dynamic ISVs. Wrong-path targets
+// are never reported.
+type Tracer interface {
+	OnFuncEnter(va uint64)
+}
+
+// Verdict is a Policy's decision about one speculative transmitter.
+type Verdict int
+
+const (
+	// Allow lets the instruction execute speculatively (with side effects).
+	Allow Verdict = iota
+	// Block delays the instruction until its visibility point; it has no
+	// microarchitectural side effects before then.
+	Block
+	// BlockUntaint delays the instruction only until its tainted operand's
+	// source load becomes non-speculative (STT's rule: the transmitter may
+	// go as soon as its data provably isn't transient).
+	BlockUntaint
+)
+
+// Access describes one speculative transmitter for Policy inspection.
+type Access struct {
+	PC          uint64  // instruction virtual address
+	VA          uint64  // data virtual address (loads only)
+	IsLoad      bool    // true for loads, false for variable-latency ALU
+	Ctx         sec.Ctx // current execution context (ASID / cgroup)
+	Kernel      bool    // executing in kernel mode
+	Transient   bool    // on a squashed (wrong) path
+	L1Hit       bool    // data present in L1 (for Delay-on-Miss)
+	AddrTainted bool    // address depends on speculatively loaded data (STT)
+}
+
+// Policy is the pluggable defense consulted for every transmitter whose
+// issue falls inside a branch shadow (i.e. every *speculative* transmitter).
+// Non-speculative instructions are never blocked.
+type Policy interface {
+	Name() string
+	// OnTransmit decides whether the speculative transmitter may proceed.
+	OnTransmit(a *Access) Verdict
+	// IndirectPenalty returns extra cycles charged per kernel indirect
+	// branch; a positive value also suppresses indirect-target speculation
+	// (how Retpoline is modelled).
+	IndirectPenalty() int
+	// KernelCrossPenalty returns extra cycles per user/kernel crossing
+	// (how KPTI is modelled).
+	KernelCrossPenalty() int
+	// NoteKernelEntry tells the policy which context entered the kernel.
+	NoteKernelEntry(ctx sec.Ctx)
+	// Reset clears accumulated statistics.
+	Reset()
+}
+
+// AllowAll is the UNSAFE hardware baseline: no speculation control at all.
+type AllowAll struct{}
+
+// Name implements Policy.
+func (AllowAll) Name() string { return "unsafe" }
+
+// OnTransmit implements Policy.
+func (AllowAll) OnTransmit(*Access) Verdict { return Allow }
+
+// IndirectPenalty implements Policy.
+func (AllowAll) IndirectPenalty() int { return 0 }
+
+// KernelCrossPenalty implements Policy.
+func (AllowAll) KernelCrossPenalty() int { return 0 }
+
+// NoteKernelEntry implements Policy.
+func (AllowAll) NoteKernelEntry(sec.Ctx) {}
+
+// Reset implements Policy.
+func (AllowAll) Reset() {}
+
+// Stats aggregates core counters.
+type Stats struct {
+	Insts          uint64
+	Loads          uint64
+	Stores         uint64
+	Branches       uint64
+	Mispredicts    uint64
+	TransientInsts uint64
+	// Fences counts speculative transmitters a policy blocked on the
+	// committed path (the paper's "fenced instructions", Table 10.1).
+	Fences uint64
+	// FenceDelay accumulates the cycles those blocks cost (time moved to
+	// the visibility point).
+	FenceDelay float64
+	// TransientFences counts blocks on squashed paths (security events).
+	TransientFences uint64
+	KernelEntries   uint64
+	Faults          uint64
+}
+
+// RunResult reports one Run invocation.
+type RunResult struct {
+	Cycles    float64 // simulated cycles consumed by this run
+	Insts     uint64  // committed instructions
+	Ret       uint64  // R1 at the terminating sysret/ret
+	Fault     bool    // fetch or data abort on the committed path
+	FaultPC   uint64  // PC of the faulting instruction
+	FaultVA   uint64  // data VA for data aborts
+	Truncated bool    // instruction budget exhausted (codegen bug guard)
+}
+
+// Core is one simulated hardware thread.
+type Core struct {
+	Cfg    Config
+	Code   CodeSource
+	Mem    *memsim.Mem
+	H      *cache.Hierarchy
+	BP     *predict.Predictor
+	Policy Policy
+	Tracer Tracer
+
+	// Regs is the architectural register file; callers marshal syscall
+	// arguments here before Run.
+	Regs [isa.NumRegs]uint64
+
+	Stats Stats
+
+	now        float64
+	readyAt    [isa.NumRegs]float64
+	taintUntil [isa.NumRegs]float64
+	specUntil  float64
+	commitRing []float64
+	commitIdx  int
+	lastCommit float64
+	callStack  []uint64
+
+	ctx        sec.Ctx
+	kernelMode bool
+
+	lastFetchLine uint64
+}
+
+// New builds a core around the given subsystems with an AllowAll policy.
+func New(cfg Config, code CodeSource, mem *memsim.Mem, h *cache.Hierarchy, bp *predict.Predictor) *Core {
+	return &Core{
+		Cfg:        cfg,
+		Code:       code,
+		Mem:        mem,
+		H:          h,
+		BP:         bp,
+		Policy:     AllowAll{},
+		commitRing: make([]float64, cfg.ROB),
+	}
+}
+
+// Now reports the current simulated cycle.
+func (c *Core) Now() float64 { return c.now }
+
+// Advance charges flat cycles (userspace think time between syscalls; the
+// datacenter apps use this so their kernel-time fraction matches §7).
+func (c *Core) Advance(cycles float64) { c.now += cycles }
+
+// Ctx reports the current execution context.
+func (c *Core) Ctx() sec.Ctx { return c.ctx }
+
+// KernelMode reports whether the core is executing kernel code.
+func (c *Core) KernelMode() bool { return c.kernelMode }
+
+// SetCtx switches the execution context (scheduler context switch). The
+// predictors are deliberately NOT flushed: shared, untagged predictor state
+// across contexts is what enables the cross-context attacks of §4.1.
+func (c *Core) SetCtx(ctx sec.Ctx) { c.ctx = ctx }
+
+// EnterKernel charges the mode-switch cost and flips to kernel mode.
+func (c *Core) EnterKernel() {
+	c.kernelMode = true
+	c.now += float64(c.Cfg.KernelEntryCost + c.Policy.KernelCrossPenalty())
+	c.Policy.NoteKernelEntry(c.ctx)
+	c.Stats.KernelEntries++
+}
+
+// ExitKernel charges the return cost and flips back to user mode.
+func (c *Core) ExitKernel() {
+	c.kernelMode = false
+	c.now += float64(c.Cfg.KernelEntryCost/2 + c.Policy.KernelCrossPenalty())
+}
+
+// reg reads a register, honouring the hardwired zero.
+func (c *Core) reg(r isa.Reg) uint64 {
+	if r == isa.R0 {
+		return 0
+	}
+	return c.Regs[r]
+}
+
+func (c *Core) setReg(r isa.Reg, v uint64) {
+	if r != isa.R0 {
+		c.Regs[r] = v
+	}
+}
+
+func (c *Core) ready(r isa.Reg) float64 {
+	if r == isa.R0 {
+		return 0
+	}
+	return c.readyAt[r]
+}
+
+func (c *Core) tainted(r isa.Reg, at float64) bool {
+	return r != isa.R0 && c.taintUntil[r] > at
+}
+
+// commit records one instruction's commit time and enforces ROB occupancy:
+// fetch may not run more than ROB instructions ahead of the oldest
+// uncommitted instruction.
+func (c *Core) commit(t float64) {
+	if t < c.lastCommit {
+		t = c.lastCommit // in-order commit
+	}
+	c.lastCommit = t
+	c.commitRing[c.commitIdx] = t
+	c.commitIdx = (c.commitIdx + 1) % len(c.commitRing)
+	// The slot we will overwrite ROB instructions from now is the commit
+	// time of the instruction exactly ROB ago; fetch stalls behind it.
+	if oldest := c.commitRing[c.commitIdx]; c.now < oldest {
+		c.now = oldest
+	}
+}
+
+// fetchTiming charges I-cache miss latency when fetch crosses into a new
+// 64-byte line.
+func (c *Core) fetchTiming(pc uint64) {
+	line := pc >> 6
+	if line == c.lastFetchLine {
+		return
+	}
+	c.lastFetchLine = line
+	lat, _ := c.H.AccessInst(pc &^ 63)
+	if lat > c.H.L1Lat {
+		c.now += float64(lat - c.H.L1Lat)
+	}
+}
+
+// Run executes starting at entry until a terminating Halt, a return from the
+// entry frame, a fault, or maxInsts committed instructions. The caller sets
+// up c.Regs first; R1 at exit is the conventional return value.
+func (c *Core) Run(entry uint64, maxInsts int) RunResult {
+	start := c.now
+	var res RunResult
+	baseDepth := len(c.callStack)
+	pc := entry
+	c.traceEnter(entry)
+	for {
+		if res.Insts >= uint64(maxInsts) {
+			res.Truncated = true
+			break
+		}
+		inst, ok := c.Code.FetchInst(pc)
+		if !ok || (!c.kernelMode && memsim.IsKernel(pc)) {
+			// Unmapped, or user-mode fetch of kernel text (SMEP).
+			res.Fault = true
+			res.FaultPC = pc
+			c.Stats.Faults++
+			break
+		}
+		c.fetchTiming(pc)
+		c.now += 1.0 / float64(c.Cfg.Width)
+		res.Insts++
+		c.Stats.Insts++
+
+		next := pc + isa.InstBytes
+		stop := false
+		switch inst.Op {
+		case isa.OpNop:
+			c.commit(c.now)
+
+		case isa.OpALU:
+			startT := maxf(c.now, c.ready(inst.Rs1), c.ready(inst.Rs2))
+			lat := 1.0
+			if inst.AK == isa.AMul {
+				lat = float64(c.Cfg.MulLatency)
+				// A multiply is a Port-channel transmitter: under STT-like
+				// policies a tainted speculative multiply must wait.
+				if startT < c.specUntil {
+					a := Access{
+						PC: pc, IsLoad: false, Ctx: c.ctx, Kernel: c.kernelMode,
+						AddrTainted: c.tainted(inst.Rs1, startT) || c.tainted(inst.Rs2, startT),
+					}
+					switch c.Policy.OnTransmit(&a) {
+					case Block:
+						c.Stats.Fences++
+						c.Stats.FenceDelay += c.specUntil - startT
+						startT = c.specUntil
+						c.now += c.Cfg.FencePenalty
+					case BlockUntaint:
+						c.Stats.Fences++
+						if u := maxf(c.taintUntil[inst.Rs1], c.taintUntil[inst.Rs2]); u > startT {
+							c.Stats.FenceDelay += u - startT
+							startT = u
+						}
+					}
+				}
+			}
+			v := isa.EvalALU(inst.AK, c.reg(inst.Rs1), c.reg(inst.Rs2), inst.Imm)
+			done := startT + lat
+			c.setReg(inst.Rd, v)
+			if inst.Rd != isa.R0 {
+				c.readyAt[inst.Rd] = done
+				// Taint propagates through arithmetic; immediates clear it.
+				switch inst.AK {
+				case isa.AMovImm:
+					c.taintUntil[inst.Rd] = 0
+				default:
+					t1, t2 := c.taintUntil[inst.Rs1], c.taintUntil[inst.Rs2]
+					if inst.Rs1 == isa.R0 {
+						t1 = 0
+					}
+					if inst.Rs2 == isa.R0 {
+						t2 = 0
+					}
+					c.taintUntil[inst.Rd] = maxf(t1, t2)
+				}
+			}
+			c.commit(done)
+
+		case isa.OpLoad:
+			c.Stats.Loads++
+			startT := maxf(c.now, c.ready(inst.Rs1))
+			va := c.reg(inst.Rs1) + uint64(inst.Imm)
+			pa, okA := c.Mem.Resolve(va, inst.Size)
+			if !okA {
+				res.Fault = true
+				res.FaultPC, res.FaultVA = pc, va
+				c.Stats.Faults++
+				stop = true
+				break
+			}
+			if startT < c.specUntil {
+				a := Access{
+					PC: pc, VA: va, IsLoad: true, Ctx: c.ctx, Kernel: c.kernelMode,
+					L1Hit:       c.H.L1D.Lookup(pa),
+					AddrTainted: c.tainted(inst.Rs1, startT),
+				}
+				switch c.Policy.OnTransmit(&a) {
+				case Block:
+					c.Stats.Fences++
+					c.Stats.FenceDelay += c.specUntil - startT
+					startT = c.specUntil // wait for the visibility point
+					c.now += c.Cfg.FencePenalty
+				case BlockUntaint:
+					// STT integrates the delay into wakeup: no re-issue
+					// cost, only the taint-expiry wait.
+					c.Stats.Fences++
+					if u := c.taintUntil[inst.Rs1]; u > startT {
+						c.Stats.FenceDelay += u - startT
+						startT = u
+					}
+				}
+			}
+			lat, _ := c.H.AccessData(pa, true)
+			v, _ := c.Mem.Load(va, inst.Size)
+			done := startT + float64(lat)
+			c.setReg(inst.Rd, v)
+			if inst.Rd != isa.R0 {
+				c.readyAt[inst.Rd] = done
+				if startT < c.specUntil {
+					// Value obtained speculatively: tainted until the
+					// shadow resolves.
+					c.taintUntil[inst.Rd] = c.specUntil
+				} else {
+					c.taintUntil[inst.Rd] = 0
+				}
+			}
+			c.commit(done)
+
+		case isa.OpStore:
+			c.Stats.Stores++
+			startT := maxf(c.now, c.ready(inst.Rs1), c.ready(inst.Rs2))
+			va := c.reg(inst.Rs1) + uint64(inst.Imm)
+			if !c.Mem.Store(va, inst.Size, c.reg(inst.Rs2)) {
+				res.Fault = true
+				res.FaultPC, res.FaultVA = pc, va
+				c.Stats.Faults++
+				stop = true
+				break
+			}
+			if pa, okA := c.Mem.Resolve(va, inst.Size); okA {
+				c.H.AccessData(pa, true)
+			}
+			c.commit(startT + 1)
+
+		case isa.OpBranch:
+			c.Stats.Branches++
+			startT := maxf(c.now+float64(c.Cfg.ExecDelay), c.ready(inst.Rs1), c.ready(inst.Rs2))
+			resolve := startT + 1
+			taken := isa.EvalCond(inst.CK, c.reg(inst.Rs1), c.reg(inst.Rs2))
+			predicted := c.BP.Cond.Predict(pc)
+			c.BP.Cond.Update(pc, taken)
+			if c.specUntil < resolve {
+				c.specUntil = resolve
+			}
+			if predicted != taken {
+				c.Stats.Mispredicts++
+				wrong := next
+				if predicted {
+					wrong = inst.Target
+				}
+				c.runTransient(wrong, c.transientBudget(resolve), resolve)
+				c.now = resolve + float64(c.Cfg.MispredictPenalty)
+			}
+			if taken {
+				next = inst.Target
+			}
+			c.commit(resolve)
+
+		case isa.OpJmp:
+			c.commit(c.now)
+			next = inst.Target
+
+		case isa.OpCall:
+			c.callStack = append(c.callStack, next)
+			c.BP.RAS.Push(next)
+			c.commit(c.now)
+			c.traceEnter(inst.Target)
+			next = inst.Target
+
+		case isa.OpICall, isa.OpIJmp:
+			c.Stats.Branches++
+			startT := maxf(c.now+float64(c.Cfg.ExecDelay), c.ready(inst.Rs1))
+			resolve := startT + 1
+			actual := c.reg(inst.Rs1)
+			if c.specUntil < resolve {
+				c.specUntil = resolve
+			}
+			if p := c.Policy.IndirectPenalty(); p > 0 && c.kernelMode {
+				// Retpoline: the indirect branch is converted into a
+				// serialized construct — extra cycles, no target
+				// speculation.
+				c.now = resolve + float64(p)
+			} else {
+				predicted, okP := c.BP.BTB.Predict(pc)
+				if okP && predicted != actual {
+					// Speculative control-flow hijack window (Spectre v2).
+					c.Stats.Mispredicts++
+					c.runTransient(predicted, c.transientBudget(resolve), resolve)
+					c.now = resolve + float64(c.Cfg.MispredictPenalty)
+				} else if !okP {
+					// BTB miss: the frontend stalls until resolution.
+					c.now = resolve
+				}
+			}
+			c.BP.BTB.Update(pc, actual)
+			if inst.Op == isa.OpICall {
+				c.callStack = append(c.callStack, next)
+				c.BP.RAS.Push(next)
+				c.traceEnter(actual)
+			}
+			c.commit(resolve)
+			next = actual
+
+		case isa.OpRet:
+			c.Stats.Branches++
+			if len(c.callStack) == baseDepth {
+				// Returning from the entry frame ends the run. This return
+				// has no matching push inside the run, so its prediction
+				// comes from whatever the RAS holds — stale entries from an
+				// earlier context included. That is the Retbleed / Spectre
+				// RSB window of Figure 4.2: the victim "returns from
+				// Function 1" and speculatively lands wherever the attacker
+				// arranged.
+				resolve := c.now + float64(c.Cfg.ExecDelay+c.H.L1Lat)
+				if c.specUntil < resolve {
+					c.specUntil = resolve
+				}
+				if predicted, okP := c.BP.RAS.Pop(); okP && predicted != 0 {
+					c.Stats.Mispredicts++
+					c.runTransient(predicted, c.transientBudget(resolve), resolve)
+					c.now = resolve + float64(c.Cfg.MispredictPenalty)
+				}
+				c.commit(resolve)
+				res.Ret = c.reg(isa.R1)
+				stop = true
+				break
+			}
+			actual := c.callStack[len(c.callStack)-1]
+			c.callStack = c.callStack[:len(c.callStack)-1]
+			// The architectural target comes from the in-memory stack; give
+			// it an L1 load latency past the execute stage.
+			resolve := c.now + float64(c.Cfg.ExecDelay+c.H.L1Lat)
+			if c.specUntil < resolve {
+				c.specUntil = resolve
+			}
+			predicted, okP := c.BP.RAS.Pop()
+			if okP && predicted != actual {
+				// Return target hijack window (Spectre RSB / Retbleed).
+				c.Stats.Mispredicts++
+				c.runTransient(predicted, c.transientBudget(resolve), resolve)
+				c.now = resolve + float64(c.Cfg.MispredictPenalty)
+			} else if !okP {
+				c.now = resolve
+			}
+			c.commit(resolve)
+			next = actual
+
+		case isa.OpFence:
+			// lfence: nothing younger may issue before all older work
+			// resolves.
+			c.now = maxf(c.now, c.specUntil, c.lastCommit)
+			c.commit(c.now)
+
+		case isa.OpHalt:
+			c.commit(c.now)
+			res.Ret = c.reg(isa.R1)
+			stop = true
+
+		default:
+			res.Fault = true
+			stop = true
+		}
+		if stop {
+			break
+		}
+		pc = next
+	}
+	// Unwind any frames left by a truncated/faulted run.
+	if len(c.callStack) > baseDepth {
+		c.callStack = c.callStack[:baseDepth]
+	}
+	// Drain: the run is not over until its last instruction commits. This
+	// is where the cost of loads delayed to their visibility point lands.
+	if c.lastCommit > c.now {
+		c.now = c.lastCommit
+	}
+	res.Cycles = c.now - start
+	return res
+}
+
+func (c *Core) traceEnter(va uint64) {
+	if c.Tracer != nil && c.kernelMode {
+		c.Tracer.OnFuncEnter(va)
+	}
+}
+
+// transientBudget estimates how many wrong-path instructions the frontend
+// fetches before the squash redirects it.
+func (c *Core) transientBudget(resolve float64) int {
+	n := int((resolve-c.now)*float64(c.Cfg.Width)) + 2*c.Cfg.Width
+	if n > c.Cfg.MaxTransient {
+		n = c.Cfg.MaxTransient
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+func maxf(vs ...float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

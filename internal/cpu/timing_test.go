@@ -1,0 +1,154 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// Branch shadows last at least ExecDelay cycles: a blocking policy must
+// therefore delay a load fetched right after a branch by roughly the
+// pipeline depth.
+func TestExecDelayLengthensShadows(t *testing.T) {
+	w := newWorld()
+	a := isa.NewAsm()
+	a.MovImm(isa.R2, int64(dm(8*4096)))
+	a.Branch(isa.CNE, isa.R0, isa.R0, "skip") // never taken, predicted right
+	a.Label("skip")
+	a.Load(isa.R3, isa.R2, 0)
+	a.Halt()
+	w.code.place(entry, a.MustBuild())
+	w.core.Policy = blockAll{}
+	w.core.Run(entry, 100)
+	s := w.core.Stats
+	if s.Fences != 1 {
+		t.Fatalf("fences = %d", s.Fences)
+	}
+	if s.FenceDelay < float64(w.core.Cfg.ExecDelay)-3 {
+		t.Errorf("fence delay %.1f < pipeline depth %d", s.FenceDelay, w.core.Cfg.ExecDelay)
+	}
+}
+
+// FencePenalty charges frontend cycles per committed-path fence.
+func TestFencePenaltyCharged(t *testing.T) {
+	run := func(penalty float64) float64 {
+		w := newWorld()
+		w.core.Cfg.FencePenalty = penalty
+		a := isa.NewAsm()
+		a.MovImm(isa.R2, int64(dm(8*4096)))
+		a.Load(isa.R3, isa.R2, 0)                 // cold: slow branch source
+		a.Branch(isa.CNE, isa.R3, isa.R0, "next") // never taken, long shadow
+		a.Label("next")
+		for i := 0; i < 64; i++ {
+			a.Load(isa.R4, isa.R2, int64(8*(i+1)))
+		}
+		a.Halt()
+		w.code.place(entry, a.MustBuild())
+		w.core.Policy = blockAll{}
+		res := w.core.Run(entry, 200)
+		return res.Cycles
+	}
+	if run(4.0) <= run(0) {
+		t.Error("fence penalty costs nothing")
+	}
+}
+
+// BlockUntaint delays only until the source load's taint expires, so it is
+// never slower than a full Block of the same instruction.
+func TestBlockUntaintCheaperThanBlock(t *testing.T) {
+	prog := func() []isa.Inst {
+		a := isa.NewAsm()
+		base := dm(8 * 4096)
+		a.MovImm(isa.R2, int64(base))
+		a.Load(isa.R3, isa.R2, 0)                 // pointer load (cold, slow)
+		a.Branch(isa.CNE, isa.R3, isa.R0, "next") // never taken, late-resolving
+		a.Label("next")
+		a.Load(isa.R4, isa.R2, 8) // shadowed untainted load
+		a.Load(isa.R5, isa.R4, 0) // shadowed tainted-address load
+		a.Halt()
+		return a.MustBuild()
+	}
+	runWith := func(p Policy) float64 {
+		w := newWorld()
+		w.phys.Write64(8*4096+8, 8*4096+64) // valid chained pointer (PA as VA? use dm)
+		w.phys.Write64(8*4096+8, 0)         // simpler: chase to dm(0)
+		w.code.place(entry, prog())
+		w.core.Policy = p
+		// make the chained pointer valid kernel VA
+		w.phys.Write64(8*4096+8, int64ToU(int64(dm(16*4096))))
+		res := w.core.Run(entry, 100)
+		if res.Fault {
+			t.Fatalf("faulted under %s", p.Name())
+		}
+		return res.Cycles
+	}
+	full := runWith(blockAll{})
+	stt := runWith(untaintAll{})
+	if stt > full {
+		t.Errorf("BlockUntaint (%f) slower than Block (%f)", stt, full)
+	}
+}
+
+type untaintAll struct{ AllowAll }
+
+func (untaintAll) Name() string { return "untaint-all" }
+func (untaintAll) OnTransmit(a *Access) Verdict {
+	if a.AddrTainted {
+		return BlockUntaint
+	}
+	return Allow
+}
+
+func int64ToU(v int64) uint64 { return uint64(v) }
+
+// The ROB bounds fetch-ahead: a long chain of dependent slow loads cannot
+// complete faster than ROB-windowed memory parallelism allows.
+func TestROBBoundsRunahead(t *testing.T) {
+	w := newWorld()
+	w.core.Cfg.ROB = 8
+	w.core.commitRing = make([]float64, 8)
+	a := isa.NewAsm()
+	a.MovImm(isa.R2, int64(dm(8*4096)))
+	for i := 0; i < 64; i++ {
+		a.Load(isa.R3, isa.R2, int64(8*i)) // independent loads
+	}
+	a.Halt()
+	w.code.place(entry, a.MustBuild())
+	small := w.core.Run(entry, 200).Cycles
+
+	w2 := newWorld()
+	a2 := isa.NewAsm()
+	a2.MovImm(isa.R2, int64(dm(8*4096)))
+	for i := 0; i < 64; i++ {
+		a2.Load(isa.R3, isa.R2, int64(8*i))
+	}
+	a2.Halt()
+	w2.code.place(entry, a2.MustBuild())
+	big := w2.core.Run(entry, 200).Cycles
+	if small <= big {
+		t.Errorf("8-entry ROB (%f cycles) not slower than 192-entry (%f)", small, big)
+	}
+}
+
+// Charging kernel crossings via the policy (KPTI model).
+func TestKernelCrossPenaltyFlowsFromPolicy(t *testing.T) {
+	w := newWorld()
+	w.core.Policy = kptiOnly{}
+	before := w.core.Now()
+	w.core.EnterKernel()
+	w.core.ExitKernel()
+	withKPTI := w.core.Now() - before
+
+	w2 := newWorld()
+	before = w2.core.Now()
+	w2.core.EnterKernel()
+	w2.core.ExitKernel()
+	if withKPTI <= w2.core.Now()-before {
+		t.Error("KPTI crossing not charged")
+	}
+}
+
+type kptiOnly struct{ AllowAll }
+
+func (kptiOnly) Name() string            { return "kpti" }
+func (kptiOnly) KernelCrossPenalty() int { return 220 }

@@ -1,0 +1,202 @@
+package cpu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/memsim"
+)
+
+func memsimIsKernel(va uint64) bool { return memsim.IsKernel(va) }
+
+// runTransient executes the wrong path after a mispredicted branch, indirect
+// target, or return, up to budget instructions, then squashes. This is where
+// every attack in the paper lives:
+//
+//   - Wrong-path loads allowed by the Policy really access the cache
+//     hierarchy, filling lines whose indices encode secret data (the
+//     transmit step of a transient execution gadget, §2.2).
+//   - Wrong-path stores go to a private store buffer and are discarded — a
+//     squash never alters architectural memory.
+//   - Blocked loads produce *poisoned* registers: any dependent address is
+//     unknown, so dependent transmitters cannot execute either. This is how
+//     blocking the access step of a gadget also kills its transmit step.
+//
+// Register and call-stack state is shadowed; the predictors are consulted
+// but not updated (wrong-path predictor updates are a second-order effect
+// the model omits).
+func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
+	if budget <= 0 {
+		return
+	}
+	var regs [isa.NumRegs]uint64
+	var poisoned [isa.NumRegs]bool
+	var tainted [isa.NumRegs]bool
+	regs = c.Regs
+	for r := 1; r < isa.NumRegs; r++ {
+		tainted[r] = c.taintUntil[r] > c.now
+	}
+	storeBuf := make(map[uint64]transientStore)
+	var stack []uint64
+
+	for n := 0; n < budget; n++ {
+		inst, ok := c.Code.FetchInst(pc)
+		if !ok || (!c.kernelMode && memsimIsKernel(pc)) {
+			return // transient fetch fault (or SMEP): quiet squash
+		}
+		c.Stats.TransientInsts++
+		next := pc + isa.InstBytes
+
+		rd := func(r isa.Reg) uint64 {
+			if r == isa.R0 {
+				return 0
+			}
+			return regs[r]
+		}
+		bad := func(r isa.Reg) bool { return r != isa.R0 && poisoned[r] }
+		tnt := func(r isa.Reg) bool { return r != isa.R0 && tainted[r] }
+		wr := func(r isa.Reg, v uint64, p, t bool) {
+			if r != isa.R0 {
+				regs[r] = v
+				poisoned[r] = p
+				tainted[r] = t
+			}
+		}
+
+		switch inst.Op {
+		case isa.OpNop:
+
+		case isa.OpALU:
+			if inst.AK == isa.AMul {
+				a := Access{
+					PC: pc, IsLoad: false, Ctx: c.ctx, Kernel: c.kernelMode,
+					Transient:   true,
+					AddrTainted: tnt(inst.Rs1) || tnt(inst.Rs2),
+				}
+				if bad(inst.Rs1) || bad(inst.Rs2) {
+					wr(inst.Rd, 0, true, true)
+					break
+				}
+				if c.Policy.OnTransmit(&a) != Allow {
+					c.Stats.TransientFences++
+					wr(inst.Rd, 0, true, true)
+					break
+				}
+			}
+			if inst.AK != isa.AMovImm && (bad(inst.Rs1) || bad(inst.Rs2)) {
+				wr(inst.Rd, 0, true, true)
+				break
+			}
+			v := isa.EvalALU(inst.AK, rd(inst.Rs1), rd(inst.Rs2), inst.Imm)
+			t := inst.AK != isa.AMovImm && (tnt(inst.Rs1) || tnt(inst.Rs2))
+			wr(inst.Rd, v, false, t)
+
+		case isa.OpLoad:
+			if bad(inst.Rs1) {
+				// Address unknown: the load cannot issue. Its destination
+				// is poisoned, so dependent transmitters are dead too.
+				wr(inst.Rd, 0, true, true)
+				break
+			}
+			va := rd(inst.Rs1) + uint64(inst.Imm)
+			a := Access{
+				PC: pc, VA: va, IsLoad: true, Ctx: c.ctx, Kernel: c.kernelMode,
+				Transient:   true,
+				AddrTainted: tnt(inst.Rs1),
+			}
+			pa, okA := c.Mem.Resolve(va, inst.Size)
+			if okA {
+				a.L1Hit = c.H.L1D.Lookup(pa)
+			}
+			if c.Policy.OnTransmit(&a) != Allow {
+				c.Stats.TransientFences++
+				wr(inst.Rd, 0, true, true)
+				break
+			}
+			if !okA {
+				// Transient fault: the access is squashed before
+				// architectural effect; stop the wrong path here.
+				return
+			}
+			// THE LEAK: a wrong-path load fills a real cache line. LRU
+			// updates are deferred (never applied, since this path
+			// squashes).
+			c.H.AccessData(pa, false)
+			var v uint64
+			if s, okS := storeBuf[va]; okS && s.size == inst.Size {
+				v = s.val
+			} else {
+				v, _ = c.Mem.Load(va, inst.Size)
+			}
+			wr(inst.Rd, v, false, true)
+
+		case isa.OpStore:
+			if bad(inst.Rs1) || bad(inst.Rs2) {
+				break
+			}
+			va := rd(inst.Rs1) + uint64(inst.Imm)
+			storeBuf[va] = transientStore{val: rd(inst.Rs2), size: inst.Size}
+
+		case isa.OpBranch:
+			if bad(inst.Rs1) || bad(inst.Rs2) {
+				// Outcome unknown: follow the predictor.
+				if c.BP.Cond.Predict(pc) {
+					next = inst.Target
+				}
+			} else if isa.EvalCond(inst.CK, rd(inst.Rs1), rd(inst.Rs2)) {
+				next = inst.Target
+			}
+
+		case isa.OpJmp:
+			next = inst.Target
+
+		case isa.OpCall:
+			stack = append(stack, next)
+			next = inst.Target
+
+		case isa.OpICall:
+			if bad(inst.Rs1) {
+				return
+			}
+			stack = append(stack, next)
+			next = rd(inst.Rs1)
+
+		case isa.OpIJmp:
+			if bad(inst.Rs1) {
+				return
+			}
+			next = rd(inst.Rs1)
+
+		case isa.OpRet:
+			if len(stack) > 0 {
+				next = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+			} else if t, okR := peekRAS(c); okR {
+				next = t
+			} else {
+				return
+			}
+
+		case isa.OpFence:
+			// lfence on the wrong path stops further transient execution
+			// past it.
+			return
+
+		case isa.OpHalt:
+			return
+
+		default:
+			return
+		}
+		pc = next
+	}
+}
+
+type transientStore struct {
+	val  uint64
+	size uint8
+}
+
+// peekRAS reads the RAS top without consuming it (wrong-path returns must
+// not corrupt the committed predictor state in this model).
+func peekRAS(c *Core) (uint64, bool) {
+	return c.BP.RAS.Peek()
+}

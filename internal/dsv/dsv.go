@@ -1,0 +1,344 @@
+// Package dsv implements Data Speculation Views (§5.1, §5.2, §6.2).
+//
+// A DSV defines the set of data a given execution context owns; the hardware
+// blocks any *speculative* access to data outside the current context's DSV
+// until the access reaches its visibility point. Ownership is established by
+// the OS on every allocation path (buddy pages, slab objects, vmalloc'd
+// kernel stacks, user mappings) and revoked on free.
+//
+// The metadata structure is the Data Speculation View Metadata Table
+// (DSVMT): per context, a three-level tree over virtual addresses supporting
+// 4KB, 2MB and 1GB entries with single-bit leaves, inspired by TDX's
+// physical-address metadata tables. A 128-entry ASID-tagged hardware cache
+// (internal/viewcache) fronts it; on a miss the pipeline conservatively
+// blocks speculation while refilling.
+package dsv
+
+import (
+	"repro/internal/sec"
+	"repro/internal/viewcache"
+)
+
+// Address-split shifts for the three supported page sizes.
+const (
+	shift4K = 12
+	shift2M = 21
+	shift1G = 30
+)
+
+// leaf covers one 2MB region: 512 bits, one per 4KB page.
+type leaf [8]uint64
+
+func (l *leaf) set(i uint) { l[i>>6] |= 1 << (i & 63) }
+
+func (l *leaf) clear(i uint) { l[i>>6] &^= 1 << (i & 63) }
+
+func (l *leaf) get(i uint) bool { return l[i>>6]&(1<<(i&63)) != 0 }
+
+func (l *leaf) empty() bool {
+	for _, w := range l {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// mid covers one 1GB region: either entirely present (a 1GB entry) or a map
+// of 2MB sub-entries.
+type mid struct {
+	full   bool // 1GB mapping
+	leaves map[uint64]*midLeaf
+}
+
+// midLeaf covers one 2MB region: either entirely present (a 2MB entry) or a
+// 4KB bitmap.
+type midLeaf struct {
+	full  bool
+	pages leaf
+}
+
+// Table is one context's DSVMT.
+type Table struct {
+	ctx   sec.Ctx
+	roots map[uint64]*mid // keyed by va >> shift1G
+	pages uint64          // 4KB-page population count (full regions excluded)
+}
+
+// NewTable creates an empty DSVMT for ctx.
+func NewTable(ctx sec.Ctx) *Table {
+	return &Table{ctx: ctx, roots: make(map[uint64]*mid)}
+}
+
+// Ctx reports the owning context.
+func (t *Table) Ctx() sec.Ctx { return t.ctx }
+
+// Pages reports the number of individually tracked 4KB pages.
+func (t *Table) Pages() uint64 { return t.pages }
+
+func (t *Table) midFor(va uint64, create bool) *mid {
+	key := va >> shift1G
+	m := t.roots[key]
+	if m == nil && create {
+		m = &mid{leaves: make(map[uint64]*midLeaf)}
+		t.roots[key] = m
+	}
+	return m
+}
+
+func (m *mid) leafFor(va uint64, create bool) *midLeaf {
+	key := (va >> shift2M) & 0x1ff
+	l := m.leaves[key]
+	if l == nil && create {
+		l = &midLeaf{}
+		m.leaves[key] = l
+	}
+	return l
+}
+
+// SetPage adds the 4KB page containing va to the view.
+func (t *Table) SetPage(va uint64) {
+	l := t.midFor(va, true).leafFor(va, true)
+	if l.full {
+		return
+	}
+	i := uint((va >> shift4K) & 0x1ff)
+	if !l.pages.get(i) {
+		l.pages.set(i)
+		t.pages++
+	}
+}
+
+// ClearPage removes the 4KB page containing va from the view. Clearing a
+// page inside a 2MB or 1GB entry shatters the large entry.
+func (t *Table) ClearPage(va uint64) {
+	m := t.midFor(va, false)
+	if m == nil {
+		return
+	}
+	if m.full {
+		// Shatter 1GB to 2MB entries.
+		m.full = false
+		for k := uint64(0); k < 512; k++ {
+			m.leaves[k] = &midLeaf{full: true}
+		}
+	}
+	l := m.leafFor(va, false)
+	if l == nil {
+		return
+	}
+	if l.full {
+		// Shatter 2MB to a full 4KB bitmap.
+		l.full = false
+		for i := 0; i < 8; i++ {
+			l.pages[i] = ^uint64(0)
+		}
+		t.pages += 512
+	}
+	i := uint((va >> shift4K) & 0x1ff)
+	if l.pages.get(i) {
+		l.pages.clear(i)
+		t.pages--
+	}
+	if l.pages.empty() {
+		delete(m.leaves, (va>>shift2M)&0x1ff)
+	}
+}
+
+// Set2MB adds an aligned 2MB region.
+func (t *Table) Set2MB(va uint64) {
+	l := t.midFor(va, true).leafFor(va, true)
+	if !l.full {
+		// Drop any individually tracked pages it subsumes.
+		for i := uint(0); i < 512; i++ {
+			if l.pages.get(i) {
+				t.pages--
+			}
+		}
+		*l = midLeaf{full: true}
+	}
+}
+
+// Set1GB adds an aligned 1GB region.
+func (t *Table) Set1GB(va uint64) {
+	m := t.midFor(va, true)
+	if !m.full {
+		for _, l := range m.leaves {
+			if l.full {
+				continue
+			}
+			for i := uint(0); i < 512; i++ {
+				if l.pages.get(i) {
+					t.pages--
+				}
+			}
+		}
+		m.full = true
+		m.leaves = make(map[uint64]*midLeaf)
+	}
+}
+
+// SetRange adds [va, va+n) at 4KB granularity, promoting to 2MB entries
+// where the range covers whole aligned 2MB units.
+func (t *Table) SetRange(va, n uint64) {
+	end := va + n
+	for p := va &^ 0xfff; p < end; {
+		if p&((1<<shift2M)-1) == 0 && p+(1<<shift2M) <= end {
+			t.Set2MB(p)
+			p += 1 << shift2M
+		} else {
+			t.SetPage(p)
+			p += 1 << shift4K
+		}
+	}
+}
+
+// ClearRange removes [va, va+n) at 4KB granularity.
+func (t *Table) ClearRange(va, n uint64) {
+	end := va + n
+	for p := va &^ 0xfff; p < end; p += 1 << shift4K {
+		t.ClearPage(p)
+	}
+}
+
+// Contains reports whether the page containing va is in the view — the
+// DSVMT walk the hardware performs on a DSV-cache miss.
+func (t *Table) Contains(va uint64) bool {
+	m := t.midFor(va, false)
+	if m == nil {
+		return false
+	}
+	if m.full {
+		return true
+	}
+	l := m.leafFor(va, false)
+	if l == nil {
+		return false
+	}
+	if l.full {
+		return true
+	}
+	return l.pages.get(uint((va >> shift4K) & 0x1ff))
+}
+
+// Dir is the OS-side registry of all contexts' DSVMTs plus the shared
+// hardware DSV cache. The CPU consults Check on every speculative kernel
+// data access.
+type Dir struct {
+	tables map[sec.Ctx]*Table
+	cache  *viewcache.Cache
+	// owners refcounts how many contexts claim each 4KB page, giving the
+	// "unknown allocation" query (§6.1: memory in no DSV at all).
+	owners map[uint64]int
+
+	// Walks counts full DSVMT walks (cache misses that refilled).
+	Walks uint64
+}
+
+// NewDir creates an empty directory with the Table 7.1 DSV cache.
+func NewDir() *Dir {
+	return &Dir{
+		tables: make(map[sec.Ctx]*Table),
+		cache:  viewcache.New(viewcache.DefaultConfig),
+		owners: make(map[uint64]int),
+	}
+}
+
+// Known reports whether the page containing va belongs to at least one DSV.
+// Pages in no DSV are "unknown allocations" (boot-time globals, per-cpu
+// areas) that Perspective conservatively blocks by default.
+func (d *Dir) Known(va uint64) bool { return d.owners[va>>shift4K] > 0 }
+
+// Table returns (creating if needed) the DSVMT for ctx.
+func (d *Dir) Table(ctx sec.Ctx) *Table {
+	t := d.tables[ctx]
+	if t == nil {
+		t = NewTable(ctx)
+		d.tables[ctx] = t
+	}
+	return t
+}
+
+// Cache exposes the hardware cache (stats, experiment resets).
+func (d *Dir) Cache() *viewcache.Cache { return d.cache }
+
+// Result of a DSV check.
+type Result int
+
+const (
+	// Hit means the DSV cache hit and the page is in the view: the
+	// speculative access may proceed.
+	Hit Result = iota
+	// HitOutside means the cache hit and the page is NOT in the view: the
+	// access must be blocked until its visibility point.
+	HitOutside
+	// Miss means the cache missed; the access is conservatively blocked
+	// while the DSVMT walk refills the cache (§6.2: "On a miss, instead of
+	// waiting for a refill, Perspective conservatively blocks speculation").
+	Miss
+)
+
+// Check performs the hardware-side DSV lookup for a speculative access by
+// ctx to data page va. It updates the DSV cache (refilling on miss).
+func (d *Dir) Check(ctx sec.Ctx, va uint64) Result {
+	key := va >> shift4K
+	if payload, hit := d.cache.Lookup(ctx, key); hit {
+		if payload == 1 {
+			return Hit
+		}
+		return HitOutside
+	}
+	// Miss: block now, refill for next time.
+	d.Walks++
+	in := uint64(0)
+	if t := d.tables[ctx]; t != nil && t.Contains(va) {
+		in = 1
+	}
+	d.cache.Fill(ctx, key, in)
+	return Miss
+}
+
+// Owns reports architectural ownership (no cache involvement): whether va's
+// page is in ctx's view.
+func (d *Dir) Owns(ctx sec.Ctx, va uint64) bool {
+	t := d.tables[ctx]
+	return t != nil && t.Contains(va)
+}
+
+// Assign adds [va, va+n) to ctx's view — the allocation hook.
+func (d *Dir) Assign(ctx sec.Ctx, va, n uint64) {
+	t := d.Table(ctx)
+	for p := va &^ 0xfff; p < va+n; p += 1 << shift4K {
+		if !t.Contains(p) {
+			d.owners[p>>shift4K]++
+		}
+		// Newly assigned metadata must not be shadowed by stale "outside"
+		// cache entries.
+		d.cache.InvalidateKey(p >> shift4K)
+	}
+	t.SetRange(va, n)
+}
+
+// Revoke removes [va, va+n) from ctx's view and invalidates cached entries —
+// the free hook (§6.1: "When a physical frame is freed, Perspective
+// disassociates it from its DSV").
+func (d *Dir) Revoke(ctx sec.Ctx, va, n uint64) {
+	t := d.Table(ctx)
+	for p := va &^ 0xfff; p < va+n; p += 1 << shift4K {
+		if t.Contains(p) {
+			if c := d.owners[p>>shift4K]; c > 1 {
+				d.owners[p>>shift4K] = c - 1
+			} else {
+				delete(d.owners, p>>shift4K)
+			}
+		}
+		t.ClearPage(p)
+		d.cache.InvalidateKey(p >> shift4K)
+	}
+}
+
+// Drop tears down a context entirely.
+func (d *Dir) Drop(ctx sec.Ctx) {
+	delete(d.tables, ctx)
+	d.cache.InvalidateCtx(ctx)
+}

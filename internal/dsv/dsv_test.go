@@ -1,0 +1,232 @@
+package dsv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsim"
+	"repro/internal/sec"
+)
+
+func TestSetClearPage(t *testing.T) {
+	tb := NewTable(2)
+	va := memsim.DirectMapBase + 5*4096
+	if tb.Contains(va) {
+		t.Error("empty table contains page")
+	}
+	tb.SetPage(va)
+	if !tb.Contains(va) || !tb.Contains(va+4095) {
+		t.Error("page not contained after SetPage")
+	}
+	if tb.Contains(va + 4096) {
+		t.Error("neighbour page contained")
+	}
+	tb.ClearPage(va)
+	if tb.Contains(va) {
+		t.Error("page contained after ClearPage")
+	}
+	if tb.Pages() != 0 {
+		t.Errorf("pages = %d, want 0", tb.Pages())
+	}
+}
+
+func TestSetPageIdempotent(t *testing.T) {
+	tb := NewTable(2)
+	tb.SetPage(0x1000)
+	tb.SetPage(0x1000)
+	if tb.Pages() != 1 {
+		t.Errorf("pages = %d, want 1", tb.Pages())
+	}
+}
+
+func Test2MBEntry(t *testing.T) {
+	tb := NewTable(2)
+	base := memsim.DirectMapBase // 2MB aligned
+	tb.Set2MB(base)
+	if !tb.Contains(base) || !tb.Contains(base+(1<<21)-1) {
+		t.Error("2MB entry incomplete")
+	}
+	if tb.Contains(base + (1 << 21)) {
+		t.Error("2MB entry leaks past its end")
+	}
+	// Clearing one page inside shatters the large entry but keeps the rest.
+	tb.ClearPage(base + 8*4096)
+	if tb.Contains(base + 8*4096) {
+		t.Error("cleared page still contained")
+	}
+	if !tb.Contains(base) || !tb.Contains(base+511*4096) {
+		t.Error("shattering dropped sibling pages")
+	}
+	if tb.Pages() != 511 {
+		t.Errorf("pages = %d, want 511 after shatter", tb.Pages())
+	}
+}
+
+func Test1GBEntry(t *testing.T) {
+	tb := NewTable(2)
+	base := uint64(0xffff_8880_4000_0000) // 1GB aligned
+	tb.Set1GB(base)
+	if !tb.Contains(base) || !tb.Contains(base+(1<<30)-1) {
+		t.Error("1GB entry incomplete")
+	}
+	tb.ClearPage(base + (1 << 21) + 4096)
+	if tb.Contains(base + (1 << 21) + 4096) {
+		t.Error("cleared page still contained in shattered 1GB")
+	}
+	if !tb.Contains(base) || !tb.Contains(base+(1<<30)-4096) {
+		t.Error("1GB shatter dropped siblings")
+	}
+}
+
+func TestSetRangePromotesTo2MB(t *testing.T) {
+	tb := NewTable(2)
+	base := memsim.DirectMapBase
+	tb.SetRange(base, 2<<21) // two full 2MB units
+	if !tb.Contains(base+(1<<21)) || !tb.Contains(base+(2<<21)-1) {
+		t.Error("range incomplete")
+	}
+	// Full 2MB units are stored as large entries, not 1024 leaf bits.
+	if tb.Pages() != 0 {
+		t.Errorf("pages = %d, want 0 (all large entries)", tb.Pages())
+	}
+}
+
+func TestSetRangeUnaligned(t *testing.T) {
+	tb := NewTable(2)
+	tb.SetRange(0x1800, 0x2000) // straddles three pages
+	for _, va := range []uint64{0x1000, 0x2000, 0x3000} {
+		if !tb.Contains(va) {
+			t.Errorf("page %#x missing", va)
+		}
+	}
+	if tb.Contains(0x4000) {
+		t.Error("page past range contained")
+	}
+}
+
+// Property: after SetRange, every page in the range is contained; after
+// ClearRange none is.
+func TestRangeRoundTrip(t *testing.T) {
+	f := func(pageOff uint16, nPages uint8) bool {
+		tb := NewTable(2)
+		va := memsim.DirectMapBase + uint64(pageOff)*4096
+		n := (uint64(nPages) + 1) * 4096
+		tb.SetRange(va, n)
+		for p := va; p < va+n; p += 4096 {
+			if !tb.Contains(p) {
+				return false
+			}
+		}
+		tb.ClearRange(va, n)
+		for p := va; p < va+n; p += 4096 {
+			if tb.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirCheckMissThenHit(t *testing.T) {
+	d := NewDir()
+	ctx := sec.Ctx(3)
+	va := memsim.DirectMapBase + 7*4096
+	d.Assign(ctx, va, 4096)
+	// First check: cache miss → conservative block + refill.
+	if r := d.Check(ctx, va); r != Miss {
+		t.Errorf("first check = %v, want Miss", r)
+	}
+	if r := d.Check(ctx, va); r != Hit {
+		t.Errorf("second check = %v, want Hit", r)
+	}
+	// Another context checking the same page: outside its view.
+	other := sec.Ctx(4)
+	if r := d.Check(other, va); r != Miss {
+		t.Errorf("other first check = %v, want Miss", r)
+	}
+	if r := d.Check(other, va); r != HitOutside {
+		t.Errorf("other second check = %v, want HitOutside", r)
+	}
+}
+
+func TestDirRevokeInvalidatesCache(t *testing.T) {
+	d := NewDir()
+	ctx := sec.Ctx(3)
+	va := memsim.DirectMapBase
+	d.Assign(ctx, va, 4096)
+	d.Check(ctx, va) // miss+refill
+	d.Check(ctx, va) // hit
+	d.Revoke(ctx, va, 4096)
+	// The stale "inside" entry must be gone: a hit here would wrongly allow
+	// speculation on a freed (possibly reassigned) frame.
+	r := d.Check(ctx, va)
+	if r == Hit {
+		t.Error("stale DSV cache entry allowed speculation after revoke")
+	}
+	if d.Owns(ctx, va) {
+		t.Error("ownership survived revoke")
+	}
+}
+
+func TestDirAssignInvalidatesStaleOutside(t *testing.T) {
+	d := NewDir()
+	ctx := sec.Ctx(3)
+	va := memsim.DirectMapBase
+	d.Check(ctx, va) // refills "outside"
+	d.Assign(ctx, va, 4096)
+	r := d.Check(ctx, va)
+	if r == HitOutside {
+		t.Error("stale outside entry blocks a newly assigned page")
+	}
+}
+
+func TestDirDrop(t *testing.T) {
+	d := NewDir()
+	ctx := sec.Ctx(5)
+	d.Assign(ctx, 0x4000, 4096)
+	d.Drop(ctx)
+	if d.Owns(ctx, 0x4000) {
+		t.Error("ownership survived Drop")
+	}
+}
+
+// Ownership is exclusive per (ctx, page) assignment in this test: two
+// contexts never both own a page unless both were assigned it.
+func TestOwnershipIsolation(t *testing.T) {
+	d := NewDir()
+	a, b := sec.Ctx(2), sec.Ctx(3)
+	d.Assign(a, memsim.DirectMapBase, 8*4096)
+	d.Assign(b, memsim.DirectMapBase+8*4096, 8*4096)
+	for i := uint64(0); i < 16; i++ {
+		va := memsim.DirectMapBase + i*4096
+		ownA, ownB := d.Owns(a, va), d.Owns(b, va)
+		if ownA == ownB {
+			t.Errorf("page %d: ownA=%v ownB=%v", i, ownA, ownB)
+		}
+	}
+}
+
+func TestWalksCounted(t *testing.T) {
+	d := NewDir()
+	d.Check(2, 0x1000)
+	d.Check(2, 0x1000)
+	d.Check(2, 0x2000)
+	if d.Walks != 2 {
+		t.Errorf("walks = %d, want 2", d.Walks)
+	}
+}
+
+func TestCacheHitRateHighOnSmallWorkingSet(t *testing.T) {
+	d := NewDir()
+	ctx := sec.Ctx(2)
+	d.Assign(ctx, memsim.DirectMapBase, 16*4096)
+	for i := 0; i < 10000; i++ {
+		d.Check(ctx, memsim.DirectMapBase+uint64(i%16)*4096)
+	}
+	if hr := d.Cache().Stats().HitRate(); hr < 0.99 {
+		t.Errorf("hit rate = %f, want >= 0.99 (paper §9.2)", hr)
+	}
+}

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/kernel"
+	"repro/internal/kimage"
+	"repro/internal/lebench"
+	"repro/internal/schemes"
+)
+
+// Fig92Scheme runs the LEBench suite under a single scheme (bench support).
+func (h *Harness) Fig92Scheme(kind schemes.Kind) ([]LEBenchCell, error) {
+	views, err := h.ViewsFor(h.Workloads()[0])
+	if err != nil {
+		return nil, err
+	}
+	var cells []LEBenchCell
+	for _, tst := range lebench.Tests() {
+		k, err := h.newMachine(kind, views.Select(kind))
+		if err != nil {
+			return nil, err
+		}
+		res, err := lebench.RunTest(k, tst, h.Opt.LEBenchIters)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, LEBenchCell{Test: tst.Name, Scheme: kind, Cycles: res.CyclesPerIter})
+	}
+	return cells, nil
+}
+
+// ServeApp runs one app under one scheme for n requests and returns kernel
+// cycles per request (bench support).
+func (h *Harness) ServeApp(a apps.App, kind schemes.Kind, n int) (float64, error) {
+	var w *Workload
+	for i := range h.Workloads() {
+		cand := h.Workloads()[i]
+		if cand.Name == a.Name {
+			w = &cand
+			break
+		}
+	}
+	if w == nil {
+		return 0, fmt.Errorf("harness: unknown app %s", a.Name)
+	}
+	views, err := h.ViewsFor(*w)
+	if err != nil {
+		return 0, err
+	}
+	k, err := h.newMachine(kind, views.Select(kind))
+	if err != nil {
+		return 0, err
+	}
+	conn, err := apps.Dial(a, k)
+	if err != nil {
+		return 0, err
+	}
+	return conn.Serve(n)
+}
+
+// LEBenchPerspective runs the full LEBench suite under Perspective with the
+// unknown-allocation blocking toggled (the §9.2 ablation), returning total
+// simulated cycles.
+func (h *Harness) LEBenchPerspective(blockUnknown bool) (float64, error) {
+	views, err := h.ViewsFor(h.Workloads()[0])
+	if err != nil {
+		return 0, err
+	}
+	k, err := kernel.New(kernel.DefaultConfig(), h.Img)
+	if err != nil {
+		return 0, err
+	}
+	pol := schemes.NewPerspective(k.DSV, k.ISV, schemes.Perspective)
+	pol.BlockUnknown = blockUnknown
+	k.Core.Policy = pol
+	k.OnProcessCreate = func(t *kernel.Task) {
+		k.ISV.Install(t.Ctx(), views.Dynamic.View)
+	}
+	start := k.Core.Now()
+	for _, tst := range lebench.Tests() {
+		if _, err := lebench.RunTest(k, tst, h.Opt.LEBenchIters); err != nil {
+			return 0, err
+		}
+	}
+	return k.Core.Now() - start, nil
+}
+
+// ReadWorkloadPerspective measures a read/write-heavy workload under
+// Perspective with per-process f_op replication toggled (the §6.1 unknown
+// f_op-table ablation), returning total simulated cycles.
+func (h *Harness) ReadWorkloadPerspective(replicate bool) (float64, error) {
+	views, err := h.ViewsFor(h.Workloads()[0])
+	if err != nil {
+		return 0, err
+	}
+	cfg := kernel.DefaultConfig()
+	cfg.ReplicateFOps = replicate
+	k, err := kernel.New(cfg, h.Img)
+	if err != nil {
+		return 0, err
+	}
+	k.Core.Policy = schemes.NewPerspective(k.DSV, k.ISV, schemes.Perspective)
+	k.OnProcessCreate = func(t *kernel.Task) {
+		k.ISV.Install(t.Ctx(), views.Dynamic.View)
+	}
+	t, err := k.CreateProcess("ablate")
+	if err != nil {
+		return 0, err
+	}
+	buf, err := k.Syscall(t, kimage.NRMmap, 4096, 1)
+	if err != nil {
+		return 0, err
+	}
+	fd, err := k.Syscall(t, kimage.NROpen)
+	if err != nil {
+		return 0, err
+	}
+	f, _ := k.FileByFD(t, int(fd))
+	k.WriteFileData(f, make([]byte, 2048))
+	start := k.Core.Now()
+	for i := 0; i < 30; i++ {
+		k.Rewind(t, int(fd))
+		if _, err := k.Syscall(t, kimage.NRRead, fd, buf, 2048); err != nil {
+			return 0, err
+		}
+	}
+	return k.Core.Now() - start, nil
+}

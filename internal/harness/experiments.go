@@ -1,0 +1,528 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/attack"
+	"repro/internal/cpu"
+	"repro/internal/hwmodel"
+	"repro/internal/isvgen"
+	"repro/internal/kernel"
+	"repro/internal/kimage"
+	"repro/internal/lebench"
+	"repro/internal/memsim"
+	"repro/internal/scanner"
+	"repro/internal/schemes"
+)
+
+// CPUFreqHz converts simulated cycles to time (Table 7.1: 2 GHz cores).
+const CPUFreqHz = 2e9
+
+// ---------------------------------------------------------------- Fig 9.2
+
+// LEBenchCell is one (test, scheme) measurement.
+type LEBenchCell struct {
+	Test       string
+	Scheme     schemes.Kind
+	Cycles     float64
+	Normalized float64 // latency / UNSAFE latency
+}
+
+// Fig92 runs the LEBench suite under every scheme and returns normalized
+// latencies (Figure 9.2).
+func (h *Harness) Fig92() ([]LEBenchCell, error) {
+	views, err := h.ViewsFor(h.Workloads()[0])
+	if err != nil {
+		return nil, err
+	}
+	var cells []LEBenchCell
+	base := map[string]float64{}
+	for _, kind := range h.Opt.Schemes {
+		for _, tst := range lebench.Tests() {
+			k, err := h.newMachine(kind, views.Select(kind))
+			if err != nil {
+				return nil, err
+			}
+			res, err := lebench.RunTest(k, tst, h.Opt.LEBenchIters)
+			if err != nil {
+				return nil, fmt.Errorf("%v/%s: %w", kind, tst.Name, err)
+			}
+			if k.Stats.HandlerFaults > 0 {
+				return nil, fmt.Errorf("%v/%s: %d handler faults", kind, tst.Name, k.Stats.HandlerFaults)
+			}
+			c := LEBenchCell{Test: tst.Name, Scheme: kind, Cycles: res.CyclesPerIter}
+			if kind == schemes.Unsafe {
+				base[tst.Name] = res.CyclesPerIter
+			}
+			if b := base[tst.Name]; b > 0 {
+				c.Normalized = res.CyclesPerIter / b
+			}
+			cells = append(cells, c)
+		}
+	}
+	return cells, nil
+}
+
+// SchemeAverages reduces Fig92 cells to per-scheme mean normalized latency.
+func SchemeAverages(cells []LEBenchCell) map[schemes.Kind]float64 {
+	sum := map[schemes.Kind]float64{}
+	n := map[schemes.Kind]int{}
+	for _, c := range cells {
+		if c.Normalized > 0 {
+			sum[c.Scheme] += c.Normalized
+			n[c.Scheme]++
+		}
+	}
+	out := map[schemes.Kind]float64{}
+	for k, s := range sum {
+		out[k] = s / float64(n[k])
+	}
+	return out
+}
+
+// PrintFig92 renders the figure as a table.
+func PrintFig92(w io.Writer, cells []LEBenchCell, kinds []schemes.Kind) {
+	Section(w, "Figure 9.2: LEBench normalized latency (vs UNSAFE)")
+	fmt.Fprintf(w, "%-14s", "test")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "%14s", k)
+	}
+	fmt.Fprintln(w)
+	byTest := map[string]map[schemes.Kind]float64{}
+	var order []string
+	for _, c := range cells {
+		m := byTest[c.Test]
+		if m == nil {
+			m = map[schemes.Kind]float64{}
+			byTest[c.Test] = m
+			order = append(order, c.Test)
+		}
+		m[c.Scheme] = c.Normalized
+	}
+	for _, t := range order {
+		fmt.Fprintf(w, "%-14s", t)
+		for _, k := range kinds {
+			fmt.Fprintf(w, "%14.3f", byTest[t][k])
+		}
+		fmt.Fprintln(w)
+	}
+	avg := SchemeAverages(cells)
+	fmt.Fprintf(w, "%-14s", "AVG")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "%14.3f", avg[k])
+	}
+	fmt.Fprintln(w)
+}
+
+// ---------------------------------------------------------------- Fig 9.3
+
+// AppCell is one (app, scheme) throughput measurement.
+type AppCell struct {
+	App            string
+	Scheme         schemes.Kind
+	KernelCycles   float64 // per request
+	TotalCycles    float64 // per request incl. fixed userspace time
+	RPS            float64
+	NormThroughput float64 // vs UNSAFE
+}
+
+// Fig93 measures datacenter-application throughput per scheme (Figure 9.3).
+// Userspace think-time is fixed per app from the UNSAFE run so that the
+// kernel-time fraction matches §7 and defense overhead dilutes into
+// end-to-end throughput exactly as on real hardware.
+func (h *Harness) Fig93() ([]AppCell, error) {
+	var cells []AppCell
+	for _, w := range h.Workloads() {
+		if w.App == nil {
+			continue
+		}
+		views, err := h.ViewsFor(w)
+		if err != nil {
+			return nil, err
+		}
+		var userCycles, baseTotal float64
+		for _, kind := range h.Opt.Schemes {
+			k, err := h.newMachine(kind, views.Select(kind))
+			if err != nil {
+				return nil, err
+			}
+			conn, err := apps.Dial(*w.App, k)
+			if err != nil {
+				return nil, err
+			}
+			kc, err := conn.Serve(h.Opt.AppRequests)
+			if err != nil {
+				return nil, fmt.Errorf("%v/%s: %w", kind, w.Name, err)
+			}
+			if k.Stats.HandlerFaults > 0 {
+				return nil, fmt.Errorf("%v/%s: %d handler faults", kind, w.Name, k.Stats.HandlerFaults)
+			}
+			if kind == schemes.Unsafe {
+				userCycles = w.App.UserCyclesPerReq(kc)
+			}
+			total := kc + userCycles
+			c := AppCell{
+				App: w.Name, Scheme: kind,
+				KernelCycles: kc, TotalCycles: total,
+				RPS: CPUFreqHz / total,
+			}
+			if kind == schemes.Unsafe {
+				baseTotal = total
+			}
+			if baseTotal > 0 {
+				c.NormThroughput = baseTotal / total
+			}
+			cells = append(cells, c)
+		}
+	}
+	return cells, nil
+}
+
+// PrintFig93 renders the throughput figure.
+func PrintFig93(w io.Writer, cells []AppCell, kinds []schemes.Kind) {
+	Section(w, "Figure 9.3: requests/second normalized to UNSAFE")
+	fmt.Fprintf(w, "%-11s", "app")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "%14s", k)
+	}
+	fmt.Fprintf(w, "%14s\n", "UNSAFE RPS")
+	byApp := map[string]map[schemes.Kind]AppCell{}
+	var order []string
+	for _, c := range cells {
+		m := byApp[c.App]
+		if m == nil {
+			m = map[schemes.Kind]AppCell{}
+			byApp[c.App] = m
+			order = append(order, c.App)
+		}
+		m[c.Scheme] = c
+	}
+	for _, a := range order {
+		fmt.Fprintf(w, "%-11s", a)
+		for _, k := range kinds {
+			fmt.Fprintf(w, "%14.3f", byApp[a][k].NormThroughput)
+		}
+		fmt.Fprintf(w, "%14.0f\n", byApp[a][schemes.Unsafe].RPS)
+	}
+}
+
+// ---------------------------------------------------------------- Table 8.1
+
+// SurfaceRow is one workload's attack-surface reduction.
+type SurfaceRow struct {
+	Workload    string
+	StaticPct   float64 // ISV-S reduction
+	DynamicPct  float64 // ISV reduction
+	StaticFuncs int
+	DynFuncs    int
+}
+
+// Table81 computes attack-surface reduction per workload (Table 8.1).
+func (h *Harness) Table81() ([]SurfaceRow, error) {
+	var rows []SurfaceRow
+	for _, w := range h.Workloads() {
+		v, err := h.ViewsFor(w)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SurfaceRow{
+			Workload:    w.Name,
+			StaticPct:   isvgen.SurfaceOf(h.Img, v.Static).ReductionPct(),
+			DynamicPct:  isvgen.SurfaceOf(h.Img, v.Dynamic).ReductionPct(),
+			StaticFuncs: v.Static.NumFuncs(),
+			DynFuncs:    v.Dynamic.NumFuncs(),
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable81 renders Table 8.1.
+func PrintTable81(w io.Writer, rows []SurfaceRow, totalFuncs int) {
+	Section(w, "Table 8.1: attack-surface reduction")
+	fmt.Fprintf(w, "kernel functions: %d\n", totalFuncs)
+	fmt.Fprintf(w, "%-11s %10s %10s %12s %12s\n", "workload", "ISV-S", "ISV", "ISV-S funcs", "ISV funcs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %9.1f%% %9.1f%% %12d %12d\n",
+			r.Workload, r.StaticPct, r.DynamicPct, r.StaticFuncs, r.DynFuncs)
+	}
+}
+
+// ---------------------------------------------------------------- Table 8.2
+
+// GadgetRow is one workload's gadget-blocking percentages per channel.
+type GadgetRow struct {
+	Workload string
+	// [variant][channel] blocked percentage; variants: ISV-S, ISV, ISV++;
+	// channels: MDS, Port, Cache.
+	Blocked [3][3]float64
+}
+
+// Table82 computes gadget reduction per workload and ISV variant.
+func (h *Harness) Table82() ([]GadgetRow, int, error) {
+	mdsT, portT, cacheT := h.Img.GadgetCensus()
+	var rows []GadgetRow
+	for _, w := range h.Workloads() {
+		v, err := h.ViewsFor(w)
+		if err != nil {
+			return nil, 0, err
+		}
+		var row GadgetRow
+		row.Workload = w.Name
+		for i, res := range []*isvgen.Result{v.Static, v.Dynamic, v.Plus} {
+			m, p, c := isvgen.GadgetCount(h.Img, res)
+			row.Blocked[i][0] = isvgen.BlockedPct(m, mdsT)
+			row.Blocked[i][1] = isvgen.BlockedPct(p, portT)
+			row.Blocked[i][2] = isvgen.BlockedPct(c, cacheT)
+		}
+		rows = append(rows, row)
+	}
+	return rows, mdsT + portT + cacheT, nil
+}
+
+// PrintTable82 renders Table 8.2.
+func PrintTable82(w io.Writer, rows []GadgetRow, total int) {
+	Section(w, "Table 8.2: MDS/Port/Cache gadget reduction")
+	fmt.Fprintf(w, "gadget census: %d\n", total)
+	fmt.Fprintf(w, "%-11s %22s %22s %22s\n", "workload", "ISV-S", "ISV", "ISV++")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s", r.Workload)
+		for v := 0; v < 3; v++ {
+			fmt.Fprintf(w, "   %5.1f/%5.1f/%5.1f%%",
+				r.Blocked[v][0], r.Blocked[v][1], r.Blocked[v][2])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ---------------------------------------------------------------- Fig 9.1
+
+// SpeedupRow is one app's Kasper-campaign speedup.
+type SpeedupRow struct {
+	Workload  string
+	Unbounded float64 // gadgets/hour
+	Bounded   float64
+	Speedup   float64
+}
+
+// Fig91 measures the scanner's discovery-rate speedup from ISV bounding.
+func (h *Harness) Fig91() ([]SpeedupRow, error) {
+	whole := h.Graph.WholeKernelClosure()
+	unbounded := scanner.Scan(h.Img, whole, h.Opt.Seed)
+	var rows []SpeedupRow
+	for _, w := range h.Workloads() {
+		v, err := h.ViewsFor(w)
+		if err != nil {
+			return nil, err
+		}
+		bounded := scanner.Scan(h.Img, v.Dynamic.Funcs, h.Opt.Seed)
+		rows = append(rows, SpeedupRow{
+			Workload:  w.Name,
+			Unbounded: unbounded.Rate(),
+			Bounded:   bounded.Rate(),
+			Speedup:   scanner.Speedup(bounded, unbounded),
+		})
+	}
+	return rows, nil
+}
+
+// PrintFig91 renders Figure 9.1.
+func PrintFig91(w io.Writer, rows []SpeedupRow) {
+	Section(w, "Figure 9.1: Kasper gadget discovery-rate speedup")
+	fmt.Fprintf(w, "%-11s %16s %16s %9s\n", "workload", "unbounded g/hr", "ISV-bounded g/hr", "speedup")
+	sum := 0.0
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %16.1f %16.1f %8.2fx\n", r.Workload, r.Unbounded, r.Bounded, r.Speedup)
+		sum += r.Speedup
+	}
+	fmt.Fprintf(w, "%-11s %42.2fx\n", "AVG", sum/float64(len(rows)))
+}
+
+// ---------------------------------------------------------------- Table 10.1
+
+// FenceRow is one workload's fence breakdown under a Perspective variant.
+type FenceRow struct {
+	Workload  string
+	Variant   schemes.Kind
+	ISVShare  float64 // fraction of fences attributed to ISVs
+	DSVShare  float64
+	FencesPKI float64 // fences per kilo-instruction (committed path)
+	ISVPKI    float64
+	DSVPKI    float64
+}
+
+// Table101 measures the fence breakdown by running each workload under the
+// three Perspective variants.
+func (h *Harness) Table101() ([]FenceRow, error) {
+	var rows []FenceRow
+	variants := []schemes.Kind{schemes.PerspectiveStatic, schemes.Perspective, schemes.PerspectivePlus}
+	for _, w := range h.Workloads() {
+		views, err := h.ViewsFor(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range variants {
+			k, err := h.newMachine(kind, views.Select(kind))
+			if err != nil {
+				return nil, err
+			}
+			if err := h.runWorkloadOnce(k, w); err != nil {
+				return nil, err
+			}
+			pol := k.Core.Policy.(*schemes.PerspectivePolicy)
+			st := pol.Stats
+			fences := float64(st.DSVFences + st.ISVFences)
+			insts := float64(k.Core.Stats.Insts)
+			row := FenceRow{Workload: w.Name, Variant: kind}
+			if fences > 0 {
+				row.ISVShare = float64(st.ISVFences) / fences
+				row.DSVShare = float64(st.DSVFences) / fences
+			}
+			if insts > 0 {
+				row.FencesPKI = 1000 * fences / insts
+				row.ISVPKI = 1000 * float64(st.ISVFences) / insts
+				row.DSVPKI = 1000 * float64(st.DSVFences) / insts
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PrintTable101 renders Table 10.1.
+func PrintTable101(w io.Writer, rows []FenceRow) {
+	Section(w, "Table 10.1: fenced-instruction breakdown (ISV% / DSV%) and fences per kilo-inst")
+	fmt.Fprintf(w, "%-11s %-20s %8s %8s %10s %8s %8s\n",
+		"workload", "variant", "ISV%", "DSV%", "fence/ki", "isv/ki", "dsv/ki")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %-20s %7.1f%% %7.1f%% %10.2f %8.2f %8.2f\n",
+			r.Workload, r.Variant.String(), 100*r.ISVShare, 100*r.DSVShare,
+			r.FencesPKI, r.ISVPKI, r.DSVPKI)
+	}
+}
+
+// ---------------------------------------------------------------- PoC matrix
+
+// PoCRow reports one attack under one scheme.
+type PoCRow struct {
+	Attack  string
+	Scheme  schemes.Kind
+	Leaked  int
+	Total   int
+	Blocked bool
+}
+
+// PoCMatrix runs the Table 4.1 proof-of-concept attacks under UNSAFE and
+// full Perspective, demonstrating §8's claims executably.
+func (h *Harness) PoCMatrix() ([]PoCRow, error) {
+	type atk struct {
+		name string
+		run  func(k *kernel.Kernel, victim, attacker *kernel.Task, secretVA uint64, n int) (attack.Result, error)
+	}
+	atks := []atk{
+		{"active-spectre-v1", func(k *kernel.Kernel, v, a *kernel.Task, s uint64, n int) (attack.Result, error) {
+			return attack.ActiveSpectreV1(k, a, s, n)
+		}},
+		{"passive-retbleed", attack.PassiveRetbleed},
+		{"passive-spectre-v2", attack.PassiveSpectreV2},
+	}
+	secret := []byte("S3CR")
+	var rows []PoCRow
+	for _, a := range atks {
+		for _, kind := range []schemes.Kind{schemes.Unsafe, schemes.Perspective} {
+			k, err := kernel.New(kernel.DefaultConfig(), h.Img)
+			if err != nil {
+				return nil, err
+			}
+			victim, err := k.CreateProcess("victim")
+			if err != nil {
+				return nil, err
+			}
+			attacker, err := k.CreateProcess("attacker")
+			if err != nil {
+				return nil, err
+			}
+			if kind.IsPerspective() {
+				// The victim's ISV excludes the disclosure gadgets (either
+				// via dynamic profiling or ISV++ auditing); the attacker
+				// keeps a permissive view — DSVs protect against it anyway.
+				all := isvgen.FromFuncs(h.Img, allFuncIDs(h.Img))
+				hardened := isvgen.Harden(h.Img, all, gadgetIDs(h.Img))
+				k.InstallISV(victim, hardened.View)
+				k.InstallISV(attacker, all.View)
+				k.Core.Policy = schemes.New(kind, k.DSV, k.ISV)
+			}
+			secretVA, err := attack.PlantSecret(k, victim, secret)
+			if err != nil {
+				return nil, err
+			}
+			res, err := a.run(k, victim, attacker, secretVA, len(secret))
+			if err != nil {
+				return nil, err
+			}
+			leaked := res.Match(secret)
+			rows = append(rows, PoCRow{
+				Attack: a.name, Scheme: kind,
+				Leaked: leaked, Total: len(secret),
+				Blocked: leaked == 0,
+			})
+		}
+	}
+	return rows, nil
+}
+
+func allFuncIDs(img *kimage.Image) []int {
+	ids := make([]int, img.NumFuncs())
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func gadgetIDs(img *kimage.Image) []int {
+	var ids []int
+	for _, f := range img.Gadgets() {
+		ids = append(ids, f.ID)
+	}
+	return ids
+}
+
+// PrintPoCMatrix renders the attack matrix.
+func PrintPoCMatrix(w io.Writer, rows []PoCRow) {
+	Section(w, "PoC attacks (§8): leaked bytes per scheme")
+	fmt.Fprintf(w, "%-20s %-14s %8s %8s\n", "attack", "scheme", "leaked", "blocked")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %-14s %5d/%-2d %8v\n", r.Attack, r.Scheme, r.Leaked, r.Total, r.Blocked)
+	}
+}
+
+// PrintTable91 renders the hardware characterization.
+func PrintTable91(w io.Writer) {
+	Section(w, "Table 9.1: hardware structure characterization (22nm)")
+	for _, c := range hwmodel.Table91() {
+		fmt.Fprintln(w, c.String())
+	}
+}
+
+// PrintTable71 dumps the simulation parameters.
+func PrintTable71(w io.Writer) {
+	Section(w, "Table 7.1: full-system simulation parameters")
+	cfg := cpu.DefaultConfig()
+	fmt.Fprintf(w, "core:      %d-issue OoO, %d ROB entries, %d-cycle mispredict redirect\n",
+		cfg.Width, cfg.ROB, cfg.MispredictPenalty)
+	fmt.Fprintf(w, "predict:   bimodal cond (L-TAGE stand-in), 4096-entry BTB, 16-entry RAS\n")
+	fmt.Fprintf(w, "caches:    L1I 32KB/4w, L1D 32KB/8w, L2 2MB/16w; RT 2/8 cycles, +100 DRAM\n")
+	fmt.Fprintf(w, "views:     ISV & DSV caches 128 entries, 32 sets x 4 ways, ASID-tagged\n")
+	fmt.Fprintf(w, "memory:    %s", memsim.LayoutString())
+	fmt.Fprintf(w, "kernel:    synthetic image (Linux v5.4-shaped), per-spec function census\n")
+}
+
+// PrintTable41 renders the CVE taxonomy with this repo's executable PoCs.
+func PrintTable41(w io.Writer) {
+	Section(w, "Table 4.1: speculative-execution vulnerabilities (with executable stand-ins)")
+	for _, r := range attack.Corpus {
+		fmt.Fprintf(w, "%d. [%s] %s\n   refs: %s | origin: %s | PoC: %s\n",
+			r.Row, r.Mitigation, r.Description, r.Refs, r.Origin, r.PoC)
+	}
+}

@@ -1,0 +1,234 @@
+// Package harness orchestrates the paper's full evaluation: it builds
+// machines, generates per-workload ISVs (static, dynamic from a profiling
+// run, and audit-hardened ISV++), runs every workload under every defense
+// scheme, and regenerates each table and figure of chapters 7–9.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/callgraph"
+	"repro/internal/isvgen"
+	"repro/internal/kernel"
+	"repro/internal/kimage"
+	"repro/internal/ktrace"
+	"repro/internal/lebench"
+	"repro/internal/scanner"
+	"repro/internal/schemes"
+	"repro/internal/sec"
+)
+
+// Options scales the evaluation.
+type Options struct {
+	// Spec selects the kernel-image scale (kimage.FullSpec for the paper's
+	// 28K-function shape, kimage.TestSpec for fast runs).
+	Spec kimage.Spec
+	// LEBenchIters is the measured iterations per microbenchmark.
+	LEBenchIters int
+	// AppRequests is the measured request count per datacenter app (the
+	// paper uses 20K–160K on real hardware; simulation defaults are
+	// smaller — shape, not wall-clock, is the target).
+	AppRequests int
+	// Schemes lists the configurations to evaluate.
+	Schemes []schemes.Kind
+	// Seed drives the scanner campaigns.
+	Seed int64
+}
+
+// QuickOptions runs everything at unit-test scale in a few seconds.
+func QuickOptions() Options {
+	return Options{
+		Spec:         kimage.TestSpec(),
+		LEBenchIters: 6,
+		AppRequests:  40,
+		Schemes: []schemes.Kind{
+			schemes.Unsafe, schemes.Fence, schemes.DOM, schemes.STT,
+			schemes.PerspectiveStatic, schemes.Perspective, schemes.PerspectivePlus,
+		},
+		Seed: 1,
+	}
+}
+
+// PaperOptions approximates the paper's scale (a few minutes of runtime).
+func PaperOptions() Options {
+	o := QuickOptions()
+	o.Spec = kimage.FullSpec()
+	o.LEBenchIters = 12
+	o.AppRequests = 200
+	return o
+}
+
+// Workload identifies one evaluated workload (LEBench or one app).
+type Workload struct {
+	Name    string
+	App     *apps.App // nil for LEBench
+	Profile isvgen.Profile
+}
+
+// Harness carries the shared immutable state: the image, its call graph,
+// and cached per-workload views.
+type Harness struct {
+	Opt   Options
+	Img   *kimage.Image
+	Graph *callgraph.Graph
+
+	views map[string]*Views
+}
+
+// Views bundles a workload's three ISV flavours.
+type Views struct {
+	Static  *isvgen.Result
+	Dynamic *isvgen.Result
+	Plus    *isvgen.Result
+}
+
+// Select returns the view a Perspective variant installs.
+func (v *Views) Select(k schemes.Kind) *isvgen.Result {
+	switch k {
+	case schemes.PerspectiveStatic:
+		return v.Static
+	case schemes.PerspectivePlus:
+		return v.Plus
+	default:
+		return v.Dynamic
+	}
+}
+
+// New builds a harness (generating the image once).
+func New(opt Options) *Harness {
+	img := kimage.MustBuild(opt.Spec)
+	return &Harness{
+		Opt:   opt,
+		Img:   img,
+		Graph: callgraph.New(img),
+		views: make(map[string]*Views),
+	}
+}
+
+// Workloads returns LEBench plus the four applications.
+func (h *Harness) Workloads() []Workload {
+	out := []Workload{{
+		Name: "LEBench",
+		Profile: isvgen.Profile{
+			Name:     "LEBench",
+			Syscalls: lebench.Profile(),
+			Extra:    []int{kimage.NRGetuid, kimage.NRDup, kimage.NRNanosleep},
+		},
+	}}
+	for i := range apps.All() {
+		a := apps.All()[i]
+		out = append(out, Workload{
+			Name: a.Name,
+			App:  &a,
+			Profile: isvgen.Profile{
+				Name:     a.Name,
+				Syscalls: a.Profile(),
+				Extra:    a.ExtraProfile(),
+			},
+		})
+	}
+	return out
+}
+
+// newMachine boots a machine configured for a scheme; for Perspective
+// variants the given view is installed for every container at process
+// creation.
+func (h *Harness) newMachine(kind schemes.Kind, view *isvgen.Result) (*kernel.Kernel, error) {
+	k, err := kernel.New(kernel.DefaultConfig(), h.Img)
+	if err != nil {
+		return nil, err
+	}
+	k.Core.Policy = schemes.New(kind, k.DSV, k.ISV)
+	if kind.IsPerspective() && view != nil {
+		k.OnProcessCreate = func(t *kernel.Task) {
+			if h.Img != nil {
+				k.ISV.Install(t.Ctx(), view.View)
+			}
+		}
+	}
+	return k, nil
+}
+
+// ViewsFor generates (and caches) a workload's static, dynamic and ISV++
+// views. The dynamic view comes from an actual profiling run with the
+// tracing subsystem enabled; ISV++ removes the functions a Kasper-style
+// scan of the dynamic view flags (§5.4).
+func (h *Harness) ViewsFor(w Workload) (*Views, error) {
+	if v, ok := h.views[w.Name]; ok {
+		return v, nil
+	}
+	static := isvgen.Static(h.Img, h.Graph, w.Profile)
+
+	// Profiling run: unprotected machine, tracing on for every container.
+	k, err := kernel.New(kernel.DefaultConfig(), h.Img)
+	if err != nil {
+		return nil, err
+	}
+	var ctxs []sec.Ctx
+	k.OnProcessCreate = func(t *kernel.Task) {
+		k.Trace.Enable(t.Ctx())
+		ctxs = append(ctxs, t.Ctx())
+	}
+	if err := h.runWorkloadOnce(k, w); err != nil {
+		return nil, fmt.Errorf("profiling %s: %w", w.Name, err)
+	}
+	dynamic := dynamicUnion(h.Img, k.Trace, ctxs)
+
+	// Audit the dynamic view and cut the findings out (ISV++).
+	rep := scanner.Scan(h.Img, dynamic.Funcs, h.Opt.Seed)
+	plus := isvgen.Harden(h.Img, dynamic, rep.GadgetFuncIDs())
+
+	v := &Views{Static: static, Dynamic: dynamic, Plus: plus}
+	h.views[w.Name] = v
+	return v, nil
+}
+
+// dynamicUnion merges traces from all of a workload's containers.
+func dynamicUnion(img *kimage.Image, rec *ktrace.Recorder, ctxs []sec.Ctx) *isvgen.Result {
+	seen := map[int]bool{}
+	var ids []int
+	for _, c := range ctxs {
+		for _, id := range rec.Traced(c) {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Ints(ids)
+	return isvgen.FromFuncs(img, ids)
+}
+
+// runWorkloadOnce drives the workload briefly (profiling / fence-statistic
+// runs).
+func (h *Harness) runWorkloadOnce(k *kernel.Kernel, w Workload) error {
+	if w.App == nil {
+		for _, tst := range lebench.Tests() {
+			if _, err := lebench.RunTest(k, tst, 2); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	c, err := apps.Dial(*w.App, k)
+	if err != nil {
+		return err
+	}
+	_, err = c.Serve(min(h.Opt.AppRequests, 20))
+	return err
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Section prints a header.
+func Section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}

@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/kernel"
+	"repro/internal/schemes"
+)
+
+// SensitivityRow holds the §9.2 per-workload sensitivity measurements.
+type SensitivityRow struct {
+	Workload        string
+	ISVHitRate      float64
+	DSVHitRate      float64
+	SlabUtil        float64 // secure slab utilization (slabtop metric)
+	BaseSlabUtil    float64 // baseline allocator utilization
+	PageReturnPct   float64 // % of slab frees causing a page return
+	PageReturnsPS   float64 // page returns per simulated second
+	UnknownDeltaPct float64 // overhead attributable to unknown-alloc blocking
+}
+
+// Sensitivity runs the §9.2 analyses: view-cache hit rates, the
+// unknown-allocation ablation, slab fragmentation, and domain-reassignment
+// rates.
+func (h *Harness) Sensitivity() ([]SensitivityRow, error) {
+	var rows []SensitivityRow
+	for _, w := range h.Workloads() {
+		views, err := h.ViewsFor(w)
+		if err != nil {
+			return nil, err
+		}
+		run := func(blockUnknown, secureSlab bool) (*kernel.Kernel, float64, error) {
+			cfg := kernel.DefaultConfig()
+			cfg.SecureSlab = secureSlab
+			k, err := kernel.New(cfg, h.Img)
+			if err != nil {
+				return nil, 0, err
+			}
+			pol := schemes.NewPerspective(k.DSV, k.ISV, schemes.Perspective)
+			pol.BlockUnknown = blockUnknown
+			k.Core.Policy = pol
+			k.OnProcessCreate = func(t *kernel.Task) {
+				k.ISV.Install(t.Ctx(), views.Dynamic.View)
+			}
+			start := k.Core.Now()
+			if err := h.runWorkloadOnce(k, w); err != nil {
+				return nil, 0, err
+			}
+			return k, k.Core.Now() - start, nil
+		}
+
+		k, cyc, err := run(true, true)
+		if err != nil {
+			return nil, err
+		}
+		_, cycNoUnk, err := run(false, true)
+		if err != nil {
+			return nil, err
+		}
+		kBase, _, err := run(true, false)
+		if err != nil {
+			return nil, err
+		}
+
+		row := SensitivityRow{
+			Workload:     w.Name,
+			ISVHitRate:   k.ISV.Cache().Stats().HitRate(),
+			DSVHitRate:   k.DSV.Cache().Stats().HitRate(),
+			SlabUtil:     k.Slab.Utilization(),
+			BaseSlabUtil: kBase.Slab.Utilization(),
+		}
+		if cycNoUnk > 0 {
+			row.UnknownDeltaPct = 100 * (cyc - cycNoUnk) / cycNoUnk
+		}
+		st := k.Slab.Stats()
+		if st.Frees > 0 {
+			row.PageReturnPct = 100 * float64(st.PageReturns) / float64(st.Frees)
+		}
+		if cyc > 0 {
+			row.PageReturnsPS = float64(st.PageReturns) / (cyc / CPUFreqHz)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintSensitivity renders the §9.2 analyses.
+func PrintSensitivity(w io.Writer, rows []SensitivityRow) {
+	Section(w, "§9.2 sensitivity: view caches, unknown allocations, slab behaviour")
+	fmt.Fprintf(w, "%-11s %8s %8s %9s %9s %10s %10s %9s\n",
+		"workload", "ISV hit", "DSV hit", "slab(P)", "slab(base)", "ret/frees", "ret/sec", "unk ovh")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %7.1f%% %7.1f%% %8.1f%% %8.1f%% %9.3f%% %10.1f %8.2f%%\n",
+			r.Workload, 100*r.ISVHitRate, 100*r.DSVHitRate,
+			100*r.SlabUtil, 100*r.BaseSlabUtil,
+			r.PageReturnPct, r.PageReturnsPS, r.UnknownDeltaPct)
+	}
+}
+
+// HWCompareRow summarizes §9.1's hardware/software-mitigation comparisons
+// from Fig 9.2/9.3 cells.
+type HWCompareRow struct {
+	Scheme        schemes.Kind
+	MicroOverhead float64 // avg LEBench overhead (%)
+	MacroNorm     float64 // avg app normalized throughput
+}
+
+// HWCompare reduces measurement cells into the §9.1 comparison table
+// (DOM vs STT vs Perspective vs spot mitigations).
+func HWCompare(le []LEBenchCell, ap []AppCell, kinds []schemes.Kind) []HWCompareRow {
+	avg := SchemeAverages(le)
+	appSum := map[schemes.Kind]float64{}
+	appN := map[schemes.Kind]int{}
+	for _, c := range ap {
+		if c.NormThroughput > 0 {
+			appSum[c.Scheme] += c.NormThroughput
+			appN[c.Scheme]++
+		}
+	}
+	var rows []HWCompareRow
+	for _, k := range kinds {
+		r := HWCompareRow{Scheme: k, MicroOverhead: 100 * (avg[k] - 1)}
+		if appN[k] > 0 {
+			r.MacroNorm = appSum[k] / float64(appN[k])
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// PrintHWCompare renders the comparison.
+func PrintHWCompare(w io.Writer, rows []HWCompareRow) {
+	Section(w, "§9.1 scheme comparison: microbenchmark overhead / macro throughput")
+	fmt.Fprintf(w, "%-20s %14s %18s\n", "scheme", "micro ovh", "macro norm tput")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %13.1f%% %18.3f\n", r.Scheme.String(), r.MicroOverhead, r.MacroNorm)
+	}
+}
+
+// RunAll executes every experiment and prints the paper-style report.
+func (h *Harness) RunAll(w io.Writer) error {
+	PrintTable71(w)
+	PrintTable41(w)
+	PrintTable91(w)
+
+	rows81, err := h.Table81()
+	if err != nil {
+		return err
+	}
+	PrintTable81(w, rows81, h.Img.NumFuncs())
+
+	rows82, census, err := h.Table82()
+	if err != nil {
+		return err
+	}
+	PrintTable82(w, rows82, census)
+
+	rows91, err := h.Fig91()
+	if err != nil {
+		return err
+	}
+	PrintFig91(w, rows91)
+
+	poc, err := h.PoCMatrix()
+	if err != nil {
+		return err
+	}
+	PrintPoCMatrix(w, poc)
+
+	le, err := h.Fig92()
+	if err != nil {
+		return err
+	}
+	PrintFig92(w, le, h.Opt.Schemes)
+
+	ap, err := h.Fig93()
+	if err != nil {
+		return err
+	}
+	PrintFig93(w, ap, h.Opt.Schemes)
+
+	PrintHWCompare(w, HWCompare(le, ap, h.Opt.Schemes))
+
+	fences, err := h.Table101()
+	if err != nil {
+		return err
+	}
+	PrintTable101(w, fences)
+
+	sens, err := h.Sensitivity()
+	if err != nil {
+		return err
+	}
+	PrintSensitivity(w, sens)
+
+	sweep, err := h.ISVCacheSweep()
+	if err != nil {
+		return err
+	}
+	PrintCacheSweep(w, sweep)
+	return nil
+}

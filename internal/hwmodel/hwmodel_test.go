@@ -1,0 +1,61 @@
+package hwmodel
+
+import "testing"
+
+// Table 9.1 reference values: DSV cache 0.0024mm2/114ps/1.21pJ/0.78mW; ISV
+// cache 0.0025mm2/115ps/1.29pJ/0.79mW. The analytic model must land within
+// tight bands of the paper's CACTI outputs.
+func TestTable91Bands(t *testing.T) {
+	rows := Table91()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	type band struct{ loA, hiA, loT, hiT, loE, hiE, loL, hiL float64 }
+	want := map[string]band{
+		"DSV Cache": {0.0015, 0.0035, 105, 125, 0.9, 1.5, 0.6, 1.0},
+		"ISV Cache": {0.0015, 0.0035, 105, 125, 0.9, 1.6, 0.6, 1.0},
+	}
+	for _, r := range rows {
+		b, ok := want[r.Name]
+		if !ok {
+			t.Fatalf("unexpected row %q", r.Name)
+		}
+		if r.AreaMM2 < b.loA || r.AreaMM2 > b.hiA {
+			t.Errorf("%s area %f outside [%f,%f]", r.Name, r.AreaMM2, b.loA, b.hiA)
+		}
+		if r.AccessPS < b.loT || r.AccessPS > b.hiT {
+			t.Errorf("%s access %f outside [%f,%f]", r.Name, r.AccessPS, b.loT, b.hiT)
+		}
+		if r.DynEnergyPJ < b.loE || r.DynEnergyPJ > b.hiE {
+			t.Errorf("%s energy %f outside [%f,%f]", r.Name, r.DynEnergyPJ, b.loE, b.hiE)
+		}
+		if r.LeakagePowMW < b.loL || r.LeakagePowMW > b.hiL {
+			t.Errorf("%s leakage %f outside [%f,%f]", r.Name, r.LeakagePowMW, b.loL, b.hiL)
+		}
+	}
+}
+
+// The ISV cache entry is wider (57 vs 53 bits), so every metric must be >=
+// the DSV cache's — the ordering the paper shows.
+func TestISVGeqDSV(t *testing.T) {
+	d := Characterize(DSVCacheSpec())
+	i := Characterize(ISVCacheSpec())
+	if i.AreaMM2 < d.AreaMM2 || i.AccessPS < d.AccessPS ||
+		i.DynEnergyPJ < d.DynEnergyPJ || i.LeakagePowMW < d.LeakagePowMW {
+		t.Errorf("ISV < DSV somewhere:\n%v\n%v", i, d)
+	}
+}
+
+func TestScalesWithSize(t *testing.T) {
+	small := Characterize(SRAMSpec{Name: "s", Entries: 128, Ways: 4, BitsPerEnt: 53})
+	big := Characterize(SRAMSpec{Name: "b", Entries: 1024, Ways: 4, BitsPerEnt: 53})
+	if big.AreaMM2 <= small.AreaMM2 || big.LeakagePowMW <= small.LeakagePowMW {
+		t.Error("model does not scale with entries")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if Characterize(DSVCacheSpec()).String() == "" {
+		t.Error("empty string")
+	}
+}

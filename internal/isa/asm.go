@@ -1,0 +1,200 @@
+package isa
+
+import "fmt"
+
+// Asm assembles one function body. Local control flow uses labels; calls and
+// jumps to other functions use symbols that internal/kimage resolves at link
+// time, once every function has been assigned a virtual address.
+//
+// The zero value is not usable; call NewAsm.
+type Asm struct {
+	insts  []Inst
+	labels map[string]int // label -> instruction index
+	// fixups records instructions whose Target must be patched to a local
+	// label once all labels are known.
+	fixups []fixup
+}
+
+type fixup struct {
+	inst  int
+	label string
+}
+
+// NewAsm returns an empty function assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int)}
+}
+
+// Len reports the number of instructions emitted so far.
+func (a *Asm) Len() int { return len(a.insts) }
+
+func (a *Asm) emit(i Inst) *Asm {
+	a.insts = append(a.insts, i)
+	return a
+}
+
+// Label defines a local branch target at the current position.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup {
+		panic(fmt.Sprintf("isa: duplicate label %q", name))
+	}
+	a.labels[name] = len(a.insts)
+	return a
+}
+
+// Nop emits a no-op.
+func (a *Asm) Nop() *Asm { return a.emit(Inst{Op: OpNop}) }
+
+// Mov emits rd = rs.
+func (a *Asm) Mov(rd, rs Reg) *Asm {
+	return a.emit(Inst{Op: OpALU, AK: AMov, Rd: rd, Rs1: rs})
+}
+
+// MovImm emits rd = imm.
+func (a *Asm) MovImm(rd Reg, imm int64) *Asm {
+	return a.emit(Inst{Op: OpALU, AK: AMovImm, Rd: rd, Imm: imm})
+}
+
+// Add emits rd = rs1 + rs2.
+func (a *Asm) Add(rd, rs1, rs2 Reg) *Asm {
+	return a.emit(Inst{Op: OpALU, AK: AAdd, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// AddImm emits rd = rs1 + imm.
+func (a *Asm) AddImm(rd, rs1 Reg, imm int64) *Asm {
+	return a.emit(Inst{Op: OpALU, AK: AAddImm, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Sub emits rd = rs1 - rs2.
+func (a *Asm) Sub(rd, rs1, rs2 Reg) *Asm {
+	return a.emit(Inst{Op: OpALU, AK: ASub, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// And emits rd = rs1 & rs2.
+func (a *Asm) And(rd, rs1, rs2 Reg) *Asm {
+	return a.emit(Inst{Op: OpALU, AK: AAnd, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// AndImm emits rd = rs1 & imm.
+func (a *Asm) AndImm(rd, rs1 Reg, imm int64) *Asm {
+	return a.emit(Inst{Op: OpALU, AK: AAndImm, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Or emits rd = rs1 | rs2.
+func (a *Asm) Or(rd, rs1, rs2 Reg) *Asm {
+	return a.emit(Inst{Op: OpALU, AK: AOr, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Xor emits rd = rs1 ^ rs2.
+func (a *Asm) Xor(rd, rs1, rs2 Reg) *Asm {
+	return a.emit(Inst{Op: OpALU, AK: AXor, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// ShlImm emits rd = rs1 << imm.
+func (a *Asm) ShlImm(rd, rs1 Reg, imm int64) *Asm {
+	return a.emit(Inst{Op: OpALU, AK: AShlImm, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// ShrImm emits rd = rs1 >> imm.
+func (a *Asm) ShrImm(rd, rs1 Reg, imm int64) *Asm {
+	return a.emit(Inst{Op: OpALU, AK: AShrImm, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Mul emits rd = rs1 * rs2 (a Port-channel transmitter).
+func (a *Asm) Mul(rd, rs1, rs2 Reg) *Asm {
+	return a.emit(Inst{Op: OpALU, AK: AMul, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Load emits rd = mem64[rs1 + imm].
+func (a *Asm) Load(rd, rs1 Reg, imm int64) *Asm {
+	return a.emit(Inst{Op: OpLoad, Rd: rd, Rs1: rs1, Imm: imm, Size: 8})
+}
+
+// LoadB emits rd = mem8[rs1 + imm] (zero extended).
+func (a *Asm) LoadB(rd, rs1 Reg, imm int64) *Asm {
+	return a.emit(Inst{Op: OpLoad, Rd: rd, Rs1: rs1, Imm: imm, Size: 1})
+}
+
+// Store emits mem64[rs1 + imm] = rs2.
+func (a *Asm) Store(rs1 Reg, imm int64, rs2 Reg) *Asm {
+	return a.emit(Inst{Op: OpStore, Rs1: rs1, Rs2: rs2, Imm: imm, Size: 8})
+}
+
+// StoreB emits mem8[rs1 + imm] = rs2 (low byte).
+func (a *Asm) StoreB(rs1 Reg, imm int64, rs2 Reg) *Asm {
+	return a.emit(Inst{Op: OpStore, Rs1: rs1, Rs2: rs2, Imm: imm, Size: 1})
+}
+
+// Branch emits a conditional branch to a local label.
+func (a *Asm) Branch(ck Cond, rs1, rs2 Reg, label string) *Asm {
+	a.fixups = append(a.fixups, fixup{inst: len(a.insts), label: label})
+	return a.emit(Inst{Op: OpBranch, CK: ck, Rs1: rs1, Rs2: rs2})
+}
+
+// Jmp emits an unconditional jump to a local label.
+func (a *Asm) Jmp(label string) *Asm {
+	a.fixups = append(a.fixups, fixup{inst: len(a.insts), label: label})
+	return a.emit(Inst{Op: OpJmp})
+}
+
+// JmpSym emits an unconditional jump to another function (tail call).
+func (a *Asm) JmpSym(sym string) *Asm {
+	return a.emit(Inst{Op: OpJmp, Sym: sym})
+}
+
+// IJmp emits an indirect jump through rs1.
+func (a *Asm) IJmp(rs1 Reg) *Asm {
+	return a.emit(Inst{Op: OpIJmp, Rs1: rs1})
+}
+
+// Call emits a direct call to the named function; kimage links it.
+func (a *Asm) Call(sym string) *Asm {
+	return a.emit(Inst{Op: OpCall, Sym: sym})
+}
+
+// ICall emits an indirect call through rs1.
+func (a *Asm) ICall(rs1 Reg) *Asm {
+	return a.emit(Inst{Op: OpICall, Rs1: rs1})
+}
+
+// Ret emits a return.
+func (a *Asm) Ret() *Asm { return a.emit(Inst{Op: OpRet}) }
+
+// Fence emits an lfence.
+func (a *Asm) Fence() *Asm { return a.emit(Inst{Op: OpFence}) }
+
+// Halt emits a sysret, ending the kernel entry.
+func (a *Asm) Halt() *Asm { return a.emit(Inst{Op: OpHalt}) }
+
+// Build resolves local labels and returns the instruction slice. Branch and
+// jump targets to local labels are encoded as instruction *indices* in Target
+// with Sym set to the reserved marker "."; kimage rewrites them to absolute
+// VAs when the function is placed. Cross-function symbols keep their name in
+// Sym for the linker.
+func (a *Asm) Build() ([]Inst, error) {
+	out := make([]Inst, len(a.insts))
+	copy(out, a.insts)
+	for _, f := range a.fixups {
+		idx, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q", f.label)
+		}
+		out[f.inst].Target = uint64(idx)
+		out[f.inst].Sym = LocalSym
+	}
+	return out, nil
+}
+
+// MustBuild is Build, panicking on error. Generators use it since label
+// errors are programming bugs.
+func (a *Asm) MustBuild() []Inst {
+	insts, err := a.Build()
+	if err != nil {
+		panic(err)
+	}
+	return insts
+}
+
+// LocalSym marks a Target field that holds a local instruction index rather
+// than a linked VA. kimage.Image.link rewrites these when placing functions.
+const LocalSym = "."

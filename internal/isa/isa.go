@@ -1,0 +1,276 @@
+// Package isa defines the tiny RISC-like instruction set that kernel code is
+// compiled to in this reproduction. The out-of-order timing core in
+// internal/cpu executes this ISA directly against simulated physical memory,
+// so speculative wrong-path loads have real cache side effects and real data
+// semantics — which is what makes the Spectre proof-of-concept attacks in
+// internal/attack (and the defenses that block them) falsifiable rather than
+// scripted.
+//
+// Instructions occupy a fixed 4 bytes of virtual address space each, so a
+// function placed at VA v has its i-th instruction at v + 4*i. This mirrors
+// the fixed-stride layout Perspective's ISV pages assume: one ISV bit per
+// instruction slot at a fixed offset from the code page (§6.2 of the paper).
+package isa
+
+import "fmt"
+
+// InstBytes is the virtual-address footprint of one instruction.
+const InstBytes = 4
+
+// NumRegs is the size of the architectural register file.
+const NumRegs = 32
+
+// Reg names an architectural register. R0 is hardwired to zero: reads return
+// 0 and writes are discarded, as in MIPS/RISC-V.
+type Reg uint8
+
+// Register aliases. By convention in the synthetic kernel:
+// R1..R6 carry syscall arguments, R10 holds the current task struct pointer,
+// R11 holds the per-invocation syscall context block pointer, and R31 is the
+// assembler temporary.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	R29
+	R30
+	R31
+)
+
+// Op is the major opcode of an instruction.
+type Op uint8
+
+const (
+	// OpNop does nothing.
+	OpNop Op = iota
+	// OpALU computes Rd = AK(Rs1, Rs2, Imm). See ALUKind.
+	OpALU
+	// OpLoad reads Size bytes at Rs1+Imm into Rd (zero extended).
+	OpLoad
+	// OpStore writes the low Size bytes of Rs2 to Rs1+Imm.
+	OpStore
+	// OpBranch jumps to Target if CK(Rs1, Rs2) holds.
+	OpBranch
+	// OpJmp is an unconditional direct jump to Target.
+	OpJmp
+	// OpIJmp is an unconditional indirect jump to the address in Rs1.
+	OpIJmp
+	// OpCall is a direct call to Target; the return address (PC+4) is pushed
+	// on the core's architectural call stack and the RAS predictor.
+	OpCall
+	// OpICall is an indirect call through Rs1.
+	OpICall
+	// OpRet pops the architectural call stack; the RSB provides the
+	// prediction.
+	OpRet
+	// OpFence is an lfence: no instruction after it may execute until all
+	// prior branches have resolved.
+	OpFence
+	// OpHalt ends the current kernel entry (sysret). Rd conventionally holds
+	// the syscall return value in R1.
+	OpHalt
+)
+
+// ALUKind selects the ALU operation for OpALU.
+type ALUKind uint8
+
+const (
+	// AMov copies Rs1.
+	AMov ALUKind = iota
+	// AMovImm loads the immediate.
+	AMovImm
+	// AAdd computes Rs1 + Rs2.
+	AAdd
+	// AAddImm computes Rs1 + Imm.
+	AAddImm
+	// ASub computes Rs1 - Rs2.
+	ASub
+	// AAnd computes Rs1 & Rs2.
+	AAnd
+	// AAndImm computes Rs1 & Imm.
+	AAndImm
+	// AOr computes Rs1 | Rs2.
+	AOr
+	// AXor computes Rs1 ^ Rs2.
+	AXor
+	// AShlImm computes Rs1 << Imm.
+	AShlImm
+	// AShrImm computes Rs1 >> Imm (logical).
+	AShrImm
+	// AMul computes Rs1 * Rs2. Multiplies occupy a contended execution port
+	// for several cycles, making them the "Port" transmitter class in the
+	// Kasper gadget taxonomy (§8.2).
+	AMul
+)
+
+// Cond selects the comparison for OpBranch.
+type Cond uint8
+
+const (
+	// CEQ branches when Rs1 == Rs2.
+	CEQ Cond = iota
+	// CNE branches when Rs1 != Rs2.
+	CNE
+	// CLT branches when int64(Rs1) < int64(Rs2).
+	CLT
+	// CGE branches when int64(Rs1) >= int64(Rs2).
+	CGE
+	// CULT branches when Rs1 < Rs2 (unsigned).
+	CULT
+	// CUGE branches when Rs1 >= Rs2 (unsigned).
+	CUGE
+)
+
+// Inst is one decoded instruction. Target fields hold fully linked virtual
+// addresses (the assembler resolves labels and cross-function symbols).
+type Inst struct {
+	Op     Op
+	AK     ALUKind
+	CK     Cond
+	Rd     Reg
+	Rs1    Reg
+	Rs2    Reg
+	Size   uint8 // load/store width in bytes: 1 or 8
+	Imm    int64
+	Target uint64 // linked VA for Branch/Jmp/Call
+
+	// Sym is the unresolved symbol for Branch/Jmp/Call targets before
+	// linking. Empty once linked.
+	Sym string
+}
+
+// EvalALU computes the architectural result of an ALU operation.
+func EvalALU(k ALUKind, a, b uint64, imm int64) uint64 {
+	switch k {
+	case AMov:
+		return a
+	case AMovImm:
+		return uint64(imm)
+	case AAdd:
+		return a + b
+	case AAddImm:
+		return a + uint64(imm)
+	case ASub:
+		return a - b
+	case AAnd:
+		return a & b
+	case AAndImm:
+		return a & uint64(imm)
+	case AOr:
+		return a | b
+	case AXor:
+		return a ^ b
+	case AShlImm:
+		return a << (uint64(imm) & 63)
+	case AShrImm:
+		return a >> (uint64(imm) & 63)
+	case AMul:
+		return a * b
+	default:
+		return 0
+	}
+}
+
+// EvalCond computes the architectural outcome of a branch condition.
+func EvalCond(k Cond, a, b uint64) bool {
+	switch k {
+	case CEQ:
+		return a == b
+	case CNE:
+		return a != b
+	case CLT:
+		return int64(a) < int64(b)
+	case CGE:
+		return int64(a) >= int64(b)
+	case CULT:
+		return a < b
+	case CUGE:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+// IsControl reports whether the instruction redirects fetch.
+func (i *Inst) IsControl() bool {
+	switch i.Op {
+	case OpBranch, OpJmp, OpIJmp, OpCall, OpICall, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsTransmitter reports whether executing the instruction speculatively could
+// leak its operands through a microarchitectural channel. Loads leak their
+// address through the cache (the "Cache" channel and, via fill buffers, the
+// "MDS" channel); multiplies leak operand-dependent timing through port
+// contention (the "Port" channel). This is the instruction class Perspective
+// blocks outside ISVs (§5.1: "any transmitter instructions ... such as load
+// instructions").
+func (i *Inst) IsTransmitter() bool {
+	return i.Op == OpLoad || (i.Op == OpALU && i.AK == AMul)
+}
+
+func (i *Inst) String() string {
+	switch i.Op {
+	case OpNop:
+		return "nop"
+	case OpALU:
+		return fmt.Sprintf("alu.%d r%d, r%d, r%d, #%d", i.AK, i.Rd, i.Rs1, i.Rs2, i.Imm)
+	case OpLoad:
+		return fmt.Sprintf("ld%d r%d, [r%d+%d]", i.Size, i.Rd, i.Rs1, i.Imm)
+	case OpStore:
+		return fmt.Sprintf("st%d [r%d+%d], r%d", i.Size, i.Rs1, i.Imm, i.Rs2)
+	case OpBranch:
+		return fmt.Sprintf("b.%d r%d, r%d -> %#x%s", i.CK, i.Rs1, i.Rs2, i.Target, symSuffix(i.Sym))
+	case OpJmp:
+		return fmt.Sprintf("jmp %#x%s", i.Target, symSuffix(i.Sym))
+	case OpIJmp:
+		return fmt.Sprintf("ijmp r%d", i.Rs1)
+	case OpCall:
+		return fmt.Sprintf("call %#x%s", i.Target, symSuffix(i.Sym))
+	case OpICall:
+		return fmt.Sprintf("icall r%d", i.Rs1)
+	case OpRet:
+		return "ret"
+	case OpFence:
+		return "lfence"
+	case OpHalt:
+		return "sysret"
+	default:
+		return fmt.Sprintf("op%d", i.Op)
+	}
+}
+
+func symSuffix(s string) string {
+	if s == "" {
+		return ""
+	}
+	return " <" + s + ">"
+}

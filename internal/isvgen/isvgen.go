@@ -1,0 +1,172 @@
+// Package isvgen generates Instruction Speculation Views (§5.3, §6.1) in
+// the paper's three flavours:
+//
+//   - Static ISVs (ISV-S): from an application's syscall list (the product
+//     of static binary analysis), take the direct-call transitive closure of
+//     the kernel call graph. Conservative: includes everything that *could*
+//     run, misses indirect-only targets.
+//   - Dynamic ISVs (ISV): from kernel tracing of the running application,
+//     take exactly the functions that *did* run — smaller surface and it
+//     captures the indirect targets static analysis cannot see.
+//   - Hardened ISVs (ISV++): a dynamic ISV minus every gadget function a
+//     Kasper-style audit identified inside it (§5.4 "Enhancing ISVs with
+//     Auditing").
+package isvgen
+
+import (
+	"sort"
+
+	"repro/internal/callgraph"
+	"repro/internal/isv"
+	"repro/internal/kimage"
+	"repro/internal/ktrace"
+	"repro/internal/sec"
+)
+
+// Profile is the per-application input to static ISV generation: the
+// syscalls its binary can issue. Extra holds the over-approximation a real
+// binary analyzer adds (libc-reachable syscalls never actually used).
+type Profile struct {
+	Name     string
+	Syscalls []int
+	Extra    []int
+}
+
+// AllSyscalls returns the union used for static analysis.
+func (p Profile) AllSyscalls() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, s := range append(append([]int{}, p.Syscalls...), p.Extra...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Result bundles a generated view with its function set for accounting.
+type Result struct {
+	View  *isv.View
+	Funcs []int // sorted function IDs included
+}
+
+// NumFuncs reports how many kernel functions the view trusts.
+func (r *Result) NumFuncs() int { return len(r.Funcs) }
+
+// build creates a view containing exactly the given functions.
+func build(img *kimage.Image, ids []int) *Result {
+	v := isv.NewView()
+	out := make([]int, 0, len(ids))
+	for _, id := range ids {
+		f := img.FuncByID(id)
+		if f == nil {
+			continue
+		}
+		v.AddFunc(f.VA, f.NumInsts())
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return &Result{View: v, Funcs: out}
+}
+
+// Static generates the application's static ISV (ISV-S).
+func Static(img *kimage.Image, g *callgraph.Graph, p Profile) *Result {
+	return build(img, g.SyscallClosure(p.AllSyscalls()))
+}
+
+// Dynamic generates the application's dynamic ISV from its recorded trace.
+func Dynamic(img *kimage.Image, rec *ktrace.Recorder, ctx sec.Ctx) *Result {
+	return build(img, rec.Traced(ctx))
+}
+
+// Harden derives ISV++ by excluding the identified gadget functions
+// (typically a scanner's findings) from an existing view.
+func Harden(img *kimage.Image, r *Result, gadgetIDs []int) *Result {
+	bad := make(map[int]bool, len(gadgetIDs))
+	for _, id := range gadgetIDs {
+		bad[id] = true
+	}
+	var keep []int
+	for _, id := range r.Funcs {
+		if !bad[id] {
+			keep = append(keep, id)
+		}
+	}
+	return build(img, keep)
+}
+
+// Surface is the passive-attack-surface accounting of Table 8.1.
+type Surface struct {
+	TotalFuncs int
+	ViewFuncs  int
+}
+
+// ReductionPct is the percentage of kernel functions whose speculative
+// execution the view blocks.
+func (s Surface) ReductionPct() float64 {
+	if s.TotalFuncs == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(s.ViewFuncs)/float64(s.TotalFuncs))
+}
+
+// SurfaceOf measures a view against the whole kernel.
+func SurfaceOf(img *kimage.Image, r *Result) Surface {
+	return Surface{TotalFuncs: img.NumFuncs(), ViewFuncs: r.NumFuncs()}
+}
+
+// GadgetCount tallies seeded gadgets whose function is inside the view, by
+// kind — the Table 8.2 numerators.
+func GadgetCount(img *kimage.Image, r *Result) (mds, port, cache int) {
+	in := make(map[int]bool, len(r.Funcs))
+	for _, id := range r.Funcs {
+		in[id] = true
+	}
+	for _, f := range img.Gadgets() {
+		if !in[f.ID] {
+			continue
+		}
+		switch f.Gadget {
+		case kimage.GadgetMDS:
+			mds++
+		case kimage.GadgetPort:
+			port++
+		case kimage.GadgetCache:
+			cache++
+		}
+	}
+	return
+}
+
+// BlockedPct converts in-view gadget counts to blocked percentages against
+// a census total.
+func BlockedPct(inView, total int) float64 {
+	if total == 0 {
+		return 100
+	}
+	return 100 * (1 - float64(inView)/float64(total))
+}
+
+// FromFuncs builds a Result containing exactly the given function IDs
+// (e.g. a traced set merged across containers).
+func FromFuncs(img *kimage.Image, ids []int) *Result { return build(img, ids) }
+
+// Shrink intersects an installed view with a recent trace — §5.4's runtime
+// tightening: "during the runtime of the application, one can shrink the
+// ISVs as certain system calls or function paths are no longer needed". The
+// result trusts only functions both previously trusted and recently used.
+func Shrink(img *kimage.Image, r *Result, rec *ktrace.Recorder, ctx sec.Ctx) *Result {
+	recent := make(map[int]bool)
+	for _, id := range rec.Traced(ctx) {
+		recent[id] = true
+	}
+	var keep []int
+	for _, id := range r.Funcs {
+		if recent[id] {
+			keep = append(keep, id)
+		}
+	}
+	return build(img, keep)
+}

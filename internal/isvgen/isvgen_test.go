@@ -1,0 +1,147 @@
+package isvgen
+
+import (
+	"testing"
+
+	"repro/internal/callgraph"
+	"repro/internal/kernel"
+	"repro/internal/kimage"
+)
+
+var img = kimage.MustBuild(kimage.TestSpec())
+
+func profile() Profile {
+	return Profile{
+		Name: "test-app",
+		Syscalls: []int{
+			kimage.NRRead, kimage.NRWrite, kimage.NROpen, kimage.NRClose,
+			kimage.NRMmap, kimage.NRPoll, kimage.NRGetpid,
+		},
+		Extra: []int{kimage.NRBrk, kimage.NRStat},
+	}
+}
+
+func TestProfileAllSyscalls(t *testing.T) {
+	p := Profile{Syscalls: []int{3, 1, 3}, Extra: []int{2, 1}}
+	got := p.AllSyscalls()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStaticISVShape(t *testing.T) {
+	g := callgraph.New(img)
+	r := Static(img, g, profile())
+	if r.NumFuncs() == 0 {
+		t.Fatal("empty static ISV")
+	}
+	s := SurfaceOf(img, r)
+	if s.ReductionPct() < 60 {
+		t.Errorf("static reduction only %.1f%%", s.ReductionPct())
+	}
+	// Every included function's instructions are in the view.
+	f := img.MustFunc("sys_read")
+	if !r.View.Contains(f.VA) || !r.View.Contains(f.VA+uint64(f.NumInsts()-1)*4) {
+		t.Error("sys_read body not fully in view")
+	}
+	// Driver gadget reachable only via ioctl indirection stays out.
+	if r.View.Contains(img.MustFunc("xusb_ioctl_gadget").VA) {
+		t.Error("indirect-only gadget inside static ISV")
+	}
+}
+
+func TestDynamicSmallerThanStatic(t *testing.T) {
+	k, err := kernel.New(kernel.DefaultConfig(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.CreateProcess("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Trace.Enable(p.Ctx())
+	// Run the app's actual syscalls.
+	buf, _ := k.Syscall(p, kimage.NRMmap, 4096, 1)
+	fd, _ := k.Syscall(p, kimage.NROpen)
+	f, _ := k.FileByFD(p, int(fd))
+	k.WriteFileData(f, make([]byte, 512))
+	for i := 0; i < 3; i++ {
+		k.Syscall(p, kimage.NRRead, fd, buf, 128)
+		k.Syscall(p, kimage.NRWrite, fd, buf, 64)
+		k.Syscall(p, kimage.NRGetpid)
+		k.PollFDs(p, []int{int(fd)})
+	}
+
+	g := callgraph.New(img)
+	st := Static(img, g, profile())
+	dy := Dynamic(img, k.Trace, p.Ctx())
+	if dy.NumFuncs() == 0 {
+		t.Fatal("empty dynamic ISV")
+	}
+	if dy.NumFuncs() >= st.NumFuncs() {
+		t.Errorf("dynamic (%d) not smaller than static (%d)", dy.NumFuncs(), st.NumFuncs())
+	}
+	// Cold error paths are in the static view but never traced.
+	coldInDyn := 0
+	for _, id := range dy.Funcs {
+		if img.FuncByID(id).Cold {
+			coldInDyn++
+		}
+	}
+	if coldInDyn != 0 {
+		t.Errorf("%d cold functions in dynamic ISV", coldInDyn)
+	}
+	// Dynamic catches the indirect f_op target static analysis misses from
+	// the vfs_read dispatch.
+	gfr := img.MustFunc("generic_file_read")
+	if !dy.View.Contains(gfr.VA) {
+		t.Error("dynamic ISV missing traced indirect target generic_file_read")
+	}
+}
+
+func TestHardenExcludesGadgets(t *testing.T) {
+	g := callgraph.New(img)
+	st := Static(img, g, profile())
+	m0, p0, c0 := GadgetCount(img, st)
+	if m0+p0+c0 == 0 {
+		t.Skip("profile closure contains no gadgets at this scale")
+	}
+	var gadgetIDs []int
+	for _, f := range img.Gadgets() {
+		gadgetIDs = append(gadgetIDs, f.ID)
+	}
+	hard := Harden(img, st, gadgetIDs)
+	m1, p1, c1 := GadgetCount(img, hard)
+	if m1+p1+c1 != 0 {
+		t.Errorf("ISV++ still contains %d gadgets", m1+p1+c1)
+	}
+	if hard.NumFuncs() != st.NumFuncs()-(m0+p0+c0) {
+		t.Errorf("harden removed %d funcs, want %d",
+			st.NumFuncs()-hard.NumFuncs(), m0+p0+c0)
+	}
+}
+
+func TestBlockedPct(t *testing.T) {
+	if BlockedPct(0, 100) != 100 {
+		t.Error("zero in-view should be 100% blocked")
+	}
+	if BlockedPct(25, 100) != 75 {
+		t.Error("25/100 should be 75%")
+	}
+	if BlockedPct(0, 0) != 100 {
+		t.Error("empty census should be fully blocked")
+	}
+}
+
+func TestSurfaceReduction(t *testing.T) {
+	s := Surface{TotalFuncs: 1000, ViewFuncs: 50}
+	if s.ReductionPct() != 95 {
+		t.Errorf("reduction = %f", s.ReductionPct())
+	}
+}

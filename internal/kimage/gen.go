@@ -1,0 +1,495 @@
+package kimage
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// Census is the Kasper gadget census the generator seeds into the image
+// (§8.2: 805 MDS, 509 Port, 219 cache-channel potential gadgets).
+type Census struct {
+	MDS, Port, Cache int
+}
+
+// Total is the census sum.
+func (c Census) Total() int { return c.MDS + c.Port + c.Cache }
+
+// Spec parameterizes image generation. All randomness is seeded, so a given
+// Spec always produces the same image.
+type Spec struct {
+	Seed int64
+	// NumSyscalls is the syscall-table size (named + synthetic entries).
+	NumSyscalls int
+	// SubtreeMin/Max bound each syscall's generated service-chain size.
+	SubtreeMin, SubtreeMax int
+	// WarmFrac is the fraction of each subtree executed at runtime; the
+	// rest sits behind never-taken error-path guards (statically reachable,
+	// dynamically dead — the static/dynamic ISV gap of §5.3).
+	WarmFrac float64
+	// SharedHot / SharedCold size the shared-helper pools: hot helpers are
+	// called from warm paths (traced), cold ones only from error paths.
+	SharedHot, SharedCold int
+	// DriverFuncs is the indirect-dispatch / dead-config tail where most
+	// gadgets hide.
+	DriverFuncs int
+	// Census is the gadget population. Region densities below place it.
+	Census Census
+	// Gadget placement: counts for the shared pools, densities for
+	// subtrees; the remainder of the census lands in drivers.
+	SharedHotGadgets  int
+	SharedColdGadgets int
+	WarmDensity       float64
+	ColdDensity       float64
+}
+
+// FullSpec approximates the Linux v5.4 shape the paper measures: ~28K
+// functions, 350 syscalls, 1533 gadgets.
+func FullSpec() Spec {
+	return Spec{
+		Seed:              1,
+		NumSyscalls:       350,
+		SubtreeMin:        30,
+		SubtreeMax:        85,
+		WarmFrac:          0.45,
+		SharedHot:         200,
+		SharedCold:        200,
+		DriverFuncs:       7200,
+		Census:            Census{MDS: 805, Port: 509, Cache: 219},
+		SharedHotGadgets:  60,
+		SharedColdGadgets: 90,
+		WarmDensity:       0.070,
+		ColdDensity:       0.020,
+	}
+}
+
+// TestSpec is a scaled-down image (~2.3K functions) for unit tests.
+func TestSpec() Spec {
+	return Spec{
+		Seed:              1,
+		NumSyscalls:       90,
+		SubtreeMin:        12,
+		SubtreeMax:        30,
+		WarmFrac:          0.45,
+		SharedHot:         40,
+		SharedCold:        40,
+		DriverFuncs:       500,
+		Census:            Census{MDS: 84, Port: 53, Cache: 23},
+		SharedHotGadgets:  10,
+		SharedColdGadgets: 14,
+		WarmDensity:       0.070,
+		ColdDensity:       0.020,
+	}
+}
+
+// Build generates and links the kernel image for a Spec.
+func Build(spec Spec) (*Image, error) {
+	b := &builder{}
+	b.addHandwritten()
+	g := &generator{
+		b:    b,
+		rng:  rand.New(rand.NewSource(spec.Seed)),
+		spec: spec,
+	}
+	g.planGadgets()
+	g.genShared()
+	g.genSubtrees()
+	g.genDrivers()
+	b.wireStaticFOps()
+	return link(b.funcs)
+}
+
+// MustBuild is Build, panicking on error (specs are program constants).
+func MustBuild(spec Spec) *Image {
+	img, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+type generator struct {
+	b    *builder
+	rng  *rand.Rand
+	spec Spec
+
+	// gadget budgets, decremented as they are placed
+	budget map[string]*Census
+
+	hotShared  []string
+	coldShared []string
+	// driverEntries collects driver functions registered in the ioctl
+	// dispatch table (IndirectCallees of sys_ioctl).
+	driverEntries []*Func
+}
+
+// planGadgets splits the census into per-region budgets, proportionally by
+// kind within each region.
+func (g *generator) planGadgets() {
+	total := g.spec.Census.Total()
+	split := func(n int) *Census {
+		if total == 0 {
+			return &Census{}
+		}
+		c := &Census{
+			MDS:  n * g.spec.Census.MDS / total,
+			Port: n * g.spec.Census.Port / total,
+		}
+		c.Cache = n - c.MDS - c.Port
+		return c
+	}
+	warmTotal := 0
+	coldTotal := 0
+	// Expected subtree mass: NumSyscalls * mean subtree size.
+	mean := (g.spec.SubtreeMin + g.spec.SubtreeMax) / 2
+	warmTotal = int(float64(g.spec.NumSyscalls*mean) * g.spec.WarmFrac * g.spec.WarmDensity)
+	coldTotal = int(float64(g.spec.NumSyscalls*mean) * (1 - g.spec.WarmFrac) * g.spec.ColdDensity)
+	g.budget = map[string]*Census{
+		"sharedHot":  split(g.spec.SharedHotGadgets),
+		"sharedCold": split(g.spec.SharedColdGadgets),
+		"warm":       split(warmTotal),
+		"cold":       split(coldTotal),
+	}
+	placed := g.spec.SharedHotGadgets + g.spec.SharedColdGadgets + warmTotal + coldTotal
+	rest := g.spec.Census.Total() - placed
+	if rest < 0 {
+		rest = 0
+	}
+	g.budget["driver"] = split(rest)
+}
+
+// spread returns the placement probability that evenly spends a region's
+// remaining budget over the remaining functions.
+func (g *generator) spread(region string, remainingFuncs int) float64 {
+	if remainingFuncs <= 0 {
+		return 0
+	}
+	d := float64(g.budget[region].Total()) / float64(remainingFuncs)
+	if d > 1 {
+		d = 1
+	}
+	return d
+}
+
+// takeGadget draws a gadget kind from a region budget with seeded
+// probability density, or GadgetNone.
+func (g *generator) takeGadget(region string, density float64) GadgetKind {
+	c := g.budget[region]
+	if c.Total() == 0 {
+		return GadgetNone
+	}
+	if density < 1 && g.rng.Float64() >= density {
+		return GadgetNone
+	}
+	// Draw proportionally from what remains.
+	n := g.rng.Intn(c.Total())
+	switch {
+	case n < c.MDS:
+		c.MDS--
+		return GadgetMDS
+	case n < c.MDS+c.Port:
+		c.Port--
+		return GadgetPort
+	default:
+		c.Cache--
+		return GadgetCache
+	}
+}
+
+// body emits a generated function body: a few loads (split between
+// kernel-global and per-process replica data), some ALU, an optional gadget
+// snippet, optional calls, ending in Ret.
+//
+// calls are emitted in order; coldCalls are wrapped in a never-taken guard
+// on the always-zero cold flag.
+func (g *generator) body(gadget GadgetKind, calls, coldCalls []string) []isa.Inst {
+	a := isa.NewAsm()
+	nLoads := 2 + g.rng.Intn(3)
+	for i := 0; i < nLoads; i++ {
+		if g.rng.Intn(3) == 0 {
+			// Kernel-global load: outside user DSVs unless replicated —
+			// a source of benign DSV fences (§9.2, Table 10.1).
+			off := int64(OffGlobalStats + 8*g.rng.Intn((GlobalsFrames*4096-OffGlobalStats)/8))
+			a.MovImm(isa.R20, int64(GlobalsVA()))
+			a.Load(isa.R24, isa.R20, off)
+		} else {
+			// Replica load: per-process data, inside the caller's DSV.
+			a.Load(isa.R21, isa.R11, CtxReplica)
+			a.Load(isa.R24, isa.R21, int64(8*g.rng.Intn(400)))
+		}
+		a.AddImm(isa.R25, isa.R24, int64(g.rng.Intn(64)))
+	}
+	switch gadget {
+	case GadgetCache:
+		g.cacheGadget(a)
+	case GadgetPort:
+		g.portGadget(a)
+	case GadgetMDS:
+		g.mdsGadget(a)
+	}
+	for _, c := range calls {
+		a.Call(c)
+	}
+	if len(coldCalls) > 0 {
+		a.MovImm(isa.R20, int64(GlobalsVA()))
+		a.Load(isa.R20, isa.R20, OffColdFlag)
+		a.Branch(isa.CEQ, isa.R20, isa.R0, "skipcold")
+		for _, c := range coldCalls {
+			a.Call(c)
+		}
+		a.Label("skipcold")
+	}
+	a.Ret()
+	return a.MustBuild()
+}
+
+// cacheGadget emits the unguarded bounds-check / access / cache-transmit
+// pattern (Spectre v1 shape): taint source is the live syscall argument R2.
+func (g *generator) cacheGadget(a *isa.Asm) {
+	a.MovImm(isa.R26, int64(GlobalsVA()))
+	a.Load(isa.R27, isa.R26, OffGenLimit)
+	a.Branch(isa.CUGE, isa.R2, isa.R27, "gout")
+	a.Load(isa.R28, isa.R26, OffGenTable)
+	a.Add(isa.R28, isa.R28, isa.R2)
+	a.LoadB(isa.R29, isa.R28, 0) // access
+	a.ShlImm(isa.R29, isa.R29, 12)
+	a.Add(isa.R29, isa.R3, isa.R29)
+	a.LoadB(isa.R30, isa.R29, 0) // transmit (cache)
+	a.Label("gout")
+}
+
+// portGadget transmits through a data-dependent multiply.
+func (g *generator) portGadget(a *isa.Asm) {
+	a.MovImm(isa.R26, int64(GlobalsVA()))
+	a.Load(isa.R27, isa.R26, OffGenLimit)
+	a.Branch(isa.CUGE, isa.R2, isa.R27, "gout")
+	a.Load(isa.R28, isa.R26, OffGenTable)
+	a.Add(isa.R28, isa.R28, isa.R2)
+	a.LoadB(isa.R29, isa.R28, 0)     // access
+	a.Mul(isa.R30, isa.R29, isa.R29) // transmit (port contention)
+	a.Label("gout")
+}
+
+// mdsGadget leaks through a store-to-load microarchitectural buffer.
+func (g *generator) mdsGadget(a *isa.Asm) {
+	a.MovImm(isa.R26, int64(GlobalsVA()))
+	a.Load(isa.R27, isa.R26, OffGenLimit)
+	a.Branch(isa.CUGE, isa.R2, isa.R27, "gout")
+	a.Load(isa.R28, isa.R26, OffGenTable)
+	a.Add(isa.R28, isa.R28, isa.R2)
+	a.LoadB(isa.R29, isa.R28, 0)            // access
+	a.Store(isa.R10, TaskStateOff, isa.R29) // into a uarch-visible buffer
+	a.Load(isa.R30, isa.R10, TaskStateOff)  // forwarded load (transmit)
+	a.Label("gout")
+}
+
+func (g *generator) genShared() {
+	for i := 0; i < g.spec.SharedHot; i++ {
+		name := fmt.Sprintf("helper_%d", i)
+		var calls []string
+		if i+1 < g.spec.SharedHot && g.rng.Intn(4) == 0 {
+			calls = []string{fmt.Sprintf("helper_%d", i+1)}
+		}
+		gd := g.takeGadget("sharedHot", g.spread("sharedHot", g.spec.SharedHot-i))
+		g.b.add(name, "lib", -1, gd, g.body(gd, calls, nil))
+	}
+	for i := 0; i < g.spec.SharedCold; i++ {
+		name := fmt.Sprintf("helper_cold_%d", i)
+		var calls []string
+		if i+1 < g.spec.SharedCold && g.rng.Intn(4) == 0 {
+			calls = []string{fmt.Sprintf("helper_cold_%d", i+1)}
+		}
+		gd := g.takeGadget("sharedCold", g.spread("sharedCold", g.spec.SharedCold-i))
+		f := g.b.add(name, "lib", -1, gd, g.body(gd, calls, nil))
+		f.Cold = true
+	}
+	// Pools are generated back to front above via forward references;
+	// record names for subtree wiring.
+	for i := 0; i < g.spec.SharedHot; i++ {
+		g.hotShared = append(g.hotShared, fmt.Sprintf("helper_%d", i))
+	}
+	for i := 0; i < g.spec.SharedCold; i++ {
+		g.coldShared = append(g.coldShared, fmt.Sprintf("helper_cold_%d", i))
+	}
+}
+
+// genSubtrees builds svc_<name> service chains for the named syscalls and
+// whole sys_<nr>+svc subtrees for synthetic syscalls.
+func (g *generator) genSubtrees() {
+	named := map[int]bool{}
+	for _, s := range NamedSyscalls {
+		g.genSubtree("svc_"+s.Name, s.Name)
+		named[s.NR] = true
+	}
+	for nr := NRGenBase; nr < NRGenBase+g.spec.NumSyscalls-len(NamedSyscalls); nr++ {
+		if named[nr] {
+			continue
+		}
+		name := syntheticName(nr)
+		g.genSubtree("svc_"+name, name)
+		a := isa.NewAsm()
+		a.Load(isa.R20, isa.R10, TaskStateOff)
+		a.Call("svc_" + name)
+		a.Ret()
+		g.b.add(name, "core", nr, GadgetNone, a.MustBuild())
+	}
+}
+
+// genSubtree emits one service chain: a warm call tree of degree ≤3 plus
+// cold error-path functions hanging off warm nodes behind the zero-flag
+// guard.
+func (g *generator) genSubtree(rootName, tag string) {
+	size := g.spec.SubtreeMin
+	if g.spec.SubtreeMax > g.spec.SubtreeMin {
+		size += g.rng.Intn(g.spec.SubtreeMax - g.spec.SubtreeMin)
+	}
+	nWarm := int(float64(size)*g.spec.WarmFrac + 0.5)
+	if nWarm < 1 {
+		nWarm = 1
+	}
+	nCold := size - nWarm
+
+	warmName := func(i int) string {
+		if i == 0 {
+			return rootName
+		}
+		return fmt.Sprintf("%s_w%d", rootName, i)
+	}
+	coldName := func(i int) string { return fmt.Sprintf("%s_c%d", rootName, i) }
+
+	// Distribute cold functions across warm nodes; chain pairs of cold
+	// functions for depth.
+	coldOf := make([][]string, nWarm)
+	for i := 0; i < nCold; i++ {
+		w := g.rng.Intn(nWarm)
+		coldOf[w] = append(coldOf[w], coldName(i))
+	}
+
+	// Emit warm nodes from the leaves up so forward symbols exist... order
+	// does not matter for linking (two-pass), so emit in index order.
+	for i := 0; i < nWarm; i++ {
+		var calls []string
+		for c := 1; c <= 3; c++ {
+			child := 3*i + c
+			if child < nWarm {
+				calls = append(calls, warmName(child))
+			}
+		}
+		if len(g.hotShared) > 0 && g.rng.Intn(2) == 0 {
+			calls = append(calls, g.hotShared[g.rng.Intn(len(g.hotShared))])
+		}
+		var cold []string
+		for _, cn := range coldOf[i] {
+			cold = append(cold, cn)
+		}
+		if len(g.coldShared) > 0 && g.rng.Intn(3) == 0 {
+			cold = append(cold, g.coldShared[g.rng.Intn(len(g.coldShared))])
+		}
+		gd := g.takeGadget("warm", g.spec.WarmDensity)
+		g.b.add(warmName(i), "fs/"+tag, -1, gd, g.body(gd, calls, cold))
+	}
+	for i := 0; i < nCold; i++ {
+		var calls []string
+		if g.rng.Intn(3) == 0 && i+1 < nCold {
+			calls = append(calls, coldName(i+1))
+		}
+		gd := g.takeGadget("cold", g.spec.ColdDensity)
+		f := g.b.add(coldName(i), "fs/"+tag, -1, gd, g.body(gd, calls, nil))
+		f.Cold = true
+	}
+}
+
+// genDrivers emits the driver tail: 16 dispatch entries reachable only via
+// sys_ioctl's indirect call, each heading a small island of driver code;
+// plus dead-config functions reachable from nothing. The remaining gadget
+// budget is spread here — "deeply buried within infrequently used modules"
+// (§4.2).
+func (g *generator) genDrivers() {
+	n := g.spec.DriverFuncs
+	if n <= 0 {
+		return
+	}
+	remaining := g.budget["driver"]
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("drv_%d", i)
+		var calls []string
+		// Island structure: most drivers call the next one or two in
+		// their island of 8.
+		if i%8 != 7 && i+1 < n && g.rng.Intn(2) == 0 {
+			calls = append(calls, fmt.Sprintf("drv_%d", i+1))
+		}
+		density := float64(remaining.Total()) / float64(n-i)
+		if density > 1 {
+			density = 1
+		}
+		gd := g.takeGadget("driver", density)
+		f := g.b.add(name, driverSubsys(i), -1, gd, g.body(gd, calls, nil))
+		f.Cold = true
+		if i%(n/16+1) == 0 && len(g.driverEntries) < 16 {
+			g.driverEntries = append(g.driverEntries, f)
+		}
+	}
+	// The first dispatch slot is the XUSB CVE gadget itself; the rest are
+	// generated driver entries. Record them as indirect callees of
+	// sys_ioctl (ground truth that static analysis cannot see).
+	ioctl := g.b.find("sys_ioctl")
+	xusb := g.b.find("xusb_ioctl_gadget")
+	confuse := g.b.find("type_confuse_gadget")
+	ioctl.IndirectCallees = append(ioctl.IndirectCallees, xusb.ID, confuse.ID)
+	for _, f := range g.driverEntries {
+		ioctl.IndirectCallees = append(ioctl.IndirectCallees, f.ID)
+	}
+}
+
+func driverSubsys(i int) string {
+	switch i % 5 {
+	case 0:
+		return "drivers/usb"
+	case 1:
+		return "drivers/net"
+	case 2:
+		return "drivers/gpu"
+	case 3:
+		return "sound"
+	default:
+		return "crypto"
+	}
+}
+
+// wireStaticFOps records the f_op implementations as statically enumerable
+// indirect targets of the vfs dispatchers: the f_op tables are static kernel
+// data a binary analyzer can read, unlike the runtime-registered ioctl
+// driver table.
+func (b *builder) wireStaticFOps() {
+	reads := []string{"generic_file_read", "pipe_read", "sock_recv_impl"}
+	writes := []string{"generic_file_write", "pipe_write", "sock_send_impl"}
+	vr, vw := b.find("vfs_read"), b.find("vfs_write")
+	for _, n := range reads {
+		vr.StaticIndirect = append(vr.StaticIndirect, b.find(n).ID)
+	}
+	for _, n := range writes {
+		vw.StaticIndirect = append(vw.StaticIndirect, b.find(n).ID)
+	}
+}
+
+func (b *builder) find(name string) *Func {
+	for _, f := range b.funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	panic("kimage: builder missing " + name)
+}
+
+// IoctlTargets returns the ground-truth dispatch targets of sys_ioctl in
+// table order (slot 0 = the XUSB gadget); the kernel writes their VAs into
+// the in-memory ioctl table at boot.
+func (img *Image) IoctlTargets() []*Func {
+	ioctl := img.MustFunc("sys_ioctl")
+	out := make([]*Func, 0, len(ioctl.IndirectCallees))
+	for _, id := range ioctl.IndirectCallees {
+		out = append(out, img.FuncByID(id))
+	}
+	return out
+}

@@ -1,0 +1,634 @@
+package kimage
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Hand-written kernel code. Register conventions:
+//
+//	R1..R6  syscall arguments (R1 doubles as the return value)
+//	R10     current task-struct VA
+//	R11     syscall context block VA (task VA + TaskCtxOff)
+//	R20+    helper scratch; helpers take arguments in R21/R22/R23
+//
+// The kernel (internal/kernel) performs the *functional* semantics in Go and
+// marshals derived values (buffer addresses, word counts, resolved file
+// pointers) into the context block; these handlers then perform the same
+// work instruction-by-instruction against the same simulated memory, so the
+// timing model sees real loops, real branches, and real cache behaviour.
+
+type builder struct {
+	funcs []*Func
+}
+
+func (b *builder) add(name, subsys string, nr int, gadget GadgetKind, code []isa.Inst) *Func {
+	f := &Func{
+		ID:        len(b.funcs),
+		Name:      name,
+		Code:      code,
+		Subsys:    subsys,
+		Gadget:    gadget,
+		SyscallNR: nr,
+	}
+	b.funcs = append(b.funcs, f)
+	return f
+}
+
+func (b *builder) fn(name, subsys string, code []isa.Inst) *Func {
+	return b.add(name, subsys, -1, GadgetNone, code)
+}
+
+func (b *builder) sys(name string, nr int, code []isa.Inst) *Func {
+	return b.add("sys_"+name, "core", nr, GadgetNone, code)
+}
+
+// addHandwritten registers every hand-written function. Each sys_* handler
+// ends by calling its generated service chain svc_<name> (created by the
+// generator) before returning, which gives static and dynamic ISVs their
+// realistic bulk.
+func (b *builder) addHandwritten() {
+	b.addHelpers()
+	b.addFileOps()
+	b.addSchedMM()
+	b.addGadgetCVEs()
+	b.addSyscallHandlers()
+}
+
+func (b *builder) addHelpers() {
+	// memcpy64(dst=R21, src=R22, words=R23)
+	a := isa.NewAsm()
+	a.Label("top")
+	a.Branch(isa.CEQ, isa.R23, isa.R0, "end")
+	a.Load(isa.R24, isa.R22, 0)
+	a.Store(isa.R21, 0, isa.R24)
+	a.AddImm(isa.R21, isa.R21, 8)
+	a.AddImm(isa.R22, isa.R22, 8)
+	a.AddImm(isa.R23, isa.R23, -1)
+	a.Jmp("top")
+	a.Label("end")
+	a.Ret()
+	b.fn("memcpy64", "core", a.MustBuild())
+
+	// memzero64(dst=R21, words=R23), 4 words per iteration.
+	a = isa.NewAsm()
+	a.Label("top")
+	a.Branch(isa.CEQ, isa.R23, isa.R0, "end")
+	a.Store(isa.R21, 0, isa.R0)
+	a.Store(isa.R21, 8, isa.R0)
+	a.Store(isa.R21, 16, isa.R0)
+	a.Store(isa.R21, 24, isa.R0)
+	a.AddImm(isa.R21, isa.R21, 32)
+	a.AddImm(isa.R23, isa.R23, -4)
+	a.Jmp("top")
+	a.Label("end")
+	a.Ret()
+	b.fn("memzero64", "core", a.MustBuild())
+
+	// spin_lock(addr=R21): test-and-set with a bounded spin.
+	a = isa.NewAsm()
+	a.Label("spin")
+	a.Load(isa.R24, isa.R21, 0)
+	a.Branch(isa.CNE, isa.R24, isa.R0, "spin")
+	a.MovImm(isa.R24, 1)
+	a.Store(isa.R21, 0, isa.R24)
+	a.Ret()
+	b.fn("spin_lock", "core", a.MustBuild())
+
+	// spin_unlock(addr=R21)
+	a = isa.NewAsm()
+	a.Store(isa.R21, 0, isa.R0)
+	a.Ret()
+	b.fn("spin_unlock", "core", a.MustBuild())
+
+	// fdget(fd=R1) -> file VA in R7. Bounds-checked and then *sanitized*
+	// with a mask (array_index_nospec-style), so even a mispredicted check
+	// cannot index out of bounds — this is the hardened pattern, in
+	// contrast to the CVE gadgets below.
+	a = isa.NewAsm()
+	a.Load(isa.R24, isa.R10, TaskFilesOff)
+	a.Load(isa.R25, isa.R24, FDTMaxOff)
+	a.Branch(isa.CULT, isa.R1, isa.R25, "ok")
+	a.MovImm(isa.R7, 0)
+	a.Ret()
+	a.Label("ok")
+	a.AndImm(isa.R26, isa.R1, FDTMask)
+	a.ShlImm(isa.R26, isa.R26, 3)
+	a.Add(isa.R26, isa.R24, isa.R26)
+	a.Load(isa.R7, isa.R26, FDTArrayOff)
+	a.Ret()
+	b.fn("fdget", "core", a.MustBuild())
+
+	// copy_to_user / copy_from_user: both are memcpy64 behind an access_ok
+	// branch on the ctx block's word count.
+	for _, n := range []string{"copy_to_user", "copy_from_user"} {
+		a = isa.NewAsm()
+		a.Load(isa.R23, isa.R11, CtxWords)
+		a.Branch(isa.CEQ, isa.R23, isa.R0, "out")
+		a.Load(isa.R21, isa.R11, CtxDst)
+		a.Load(isa.R22, isa.R11, CtxSrc)
+		a.Call("memcpy64")
+		a.Label("out")
+		a.Ret()
+		b.fn(n, "core", a.MustBuild())
+	}
+}
+
+func (b *builder) addFileOps() {
+	// vfs_read(file=R7): dispatch through the file's f_op table — the
+	// indirect call that BTB-poisoning attacks target.
+	a := isa.NewAsm()
+	a.Load(isa.R8, isa.R7, FileFOpsOff)
+	a.Load(isa.R9, isa.R8, FOpReadOff)
+	a.ICall(isa.R9)
+	a.Ret()
+	b.fn("vfs_read", "fs", a.MustBuild())
+
+	a = isa.NewAsm()
+	a.Load(isa.R8, isa.R7, FileFOpsOff)
+	a.Load(isa.R9, isa.R8, FOpWriteOff)
+	a.ICall(isa.R9)
+	a.Ret()
+	b.fn("vfs_write", "fs", a.MustBuild())
+
+	// generic_file_read: copy CtxWords words from the page cache (CtxSrc)
+	// to the user buffer (CtxDst), then bump the file offset.
+	a = isa.NewAsm()
+	a.Load(isa.R21, isa.R11, CtxDst)
+	a.Load(isa.R22, isa.R11, CtxSrc)
+	a.Load(isa.R23, isa.R11, CtxWords)
+	a.Call("memcpy64")
+	a.Load(isa.R24, isa.R7, FileTailOff)
+	a.AddImm(isa.R24, isa.R24, 1)
+	a.Store(isa.R7, FileTailOff, isa.R24)
+	a.Ret()
+	b.fn("generic_file_read", "fs", a.MustBuild())
+
+	a = isa.NewAsm()
+	a.Load(isa.R21, isa.R11, CtxDst)
+	a.Load(isa.R22, isa.R11, CtxSrc)
+	a.Load(isa.R23, isa.R11, CtxWords)
+	a.Call("memcpy64")
+	a.Load(isa.R24, isa.R7, FileHeadOff)
+	a.AddImm(isa.R24, isa.R24, 1)
+	a.Store(isa.R7, FileHeadOff, isa.R24)
+	a.Ret()
+	b.fn("generic_file_write", "fs", a.MustBuild())
+
+	// pipe_read / pipe_write: ring-buffer variant. The transfer length comes
+	// from the context block (the marshaled pre-state), so the timing loop
+	// matches the bytes the call actually moved.
+	a = isa.NewAsm()
+	a.Load(isa.R23, isa.R11, CtxWords)
+	a.Branch(isa.CEQ, isa.R23, isa.R0, "empty")
+	a.Load(isa.R24, isa.R7, FileHeadOff)
+	a.Load(isa.R25, isa.R7, FileTailOff)
+	a.Load(isa.R21, isa.R11, CtxDst)
+	a.Load(isa.R22, isa.R11, CtxSrc)
+	a.Call("memcpy64")
+	a.AddImm(isa.R25, isa.R25, 1)
+	a.Store(isa.R7, FileTailOff, isa.R25)
+	a.Label("empty")
+	a.Ret()
+	b.fn("pipe_read", "fs", a.MustBuild())
+
+	a = isa.NewAsm()
+	a.Load(isa.R24, isa.R7, FileHeadOff)
+	a.Load(isa.R21, isa.R11, CtxDst)
+	a.Load(isa.R22, isa.R11, CtxSrc)
+	a.Load(isa.R23, isa.R11, CtxWords)
+	a.Call("memcpy64")
+	a.AddImm(isa.R24, isa.R24, 1)
+	a.Store(isa.R7, FileHeadOff, isa.R24)
+	a.Ret()
+	b.fn("pipe_write", "fs", a.MustBuild())
+
+	// sock_recv_impl / sock_send_impl: ring buffer plus readiness update.
+	a = isa.NewAsm()
+	a.Load(isa.R23, isa.R11, CtxWords)
+	a.Branch(isa.CEQ, isa.R23, isa.R0, "empty")
+	a.Load(isa.R24, isa.R7, FileHeadOff)
+	a.Load(isa.R25, isa.R7, FileTailOff)
+	a.Load(isa.R21, isa.R11, CtxDst)
+	a.Load(isa.R22, isa.R11, CtxSrc)
+	a.Call("memcpy64")
+	a.AddImm(isa.R25, isa.R25, 1)
+	a.Store(isa.R7, FileTailOff, isa.R25)
+	a.Load(isa.R26, isa.R7, FileHeadOff)
+	a.Branch(isa.CNE, isa.R26, isa.R25, "stillready")
+	a.Store(isa.R7, FileStateOff, isa.R0) // drained: clear readiness
+	a.Label("stillready")
+	a.Label("empty")
+	a.Ret()
+	b.fn("sock_recv_impl", "net", a.MustBuild())
+
+	a = isa.NewAsm()
+	a.Load(isa.R24, isa.R7, FileHeadOff)
+	a.Load(isa.R21, isa.R11, CtxDst)
+	a.Load(isa.R22, isa.R11, CtxSrc)
+	a.Load(isa.R23, isa.R11, CtxWords)
+	a.Call("memcpy64")
+	a.AddImm(isa.R24, isa.R24, 1)
+	a.Store(isa.R7, FileHeadOff, isa.R24)
+	a.MovImm(isa.R26, 1)
+	a.Store(isa.R7, FileStateOff, isa.R26) // peer becomes readable
+	a.Ret()
+	b.fn("sock_send_impl", "net", a.MustBuild())
+
+	// do_poll_scan: iterate CtxNFds file-struct pointers from the task's
+	// poll array page (CtxSrc), loading each file's readiness and a line of
+	// its backing buffer (wait-queue/ring state). With hundreds of fds the
+	// working set exceeds the L1, and the readiness branches depend on the
+	// loads — the memory-parallel, branch-dense pattern that makes
+	// select/poll pay up to 228% under FENCE and 204% under Delay-on-Miss
+	// (§9.1), because those schemes serialize exactly this kind of
+	// speculative miss.
+	a = isa.NewAsm()
+	a.Load(isa.R20, isa.R11, CtxNFds)
+	a.Load(isa.R22, isa.R11, CtxSrc) // poll array page
+	a.MovImm(isa.R25, 0)             // ready count
+	a.Label("loop")
+	a.Branch(isa.CEQ, isa.R20, isa.R0, "end")
+	a.Load(isa.R23, isa.R22, 0)            // file struct VA
+	a.Load(isa.R24, isa.R23, FileStateOff) // readiness
+	a.Load(isa.R26, isa.R23, FileDataOff)  // backing buffer VA
+	a.Load(isa.R27, isa.R26, 0)            // touch ring head (wait queue)
+	// Per-fd poll work: mask building, wait-queue bookkeeping, f_op
+	// fields — the several-dozen instructions vfs_poll really spends per
+	// descriptor (a dependent ALU chain plus struct field traffic).
+	a.Load(isa.R28, isa.R23, FileFOpsOff)
+	a.Load(isa.R29, isa.R28, FOpPollOff)
+	a.AndImm(isa.R29, isa.R29, 0xfff)
+	a.Add(isa.R29, isa.R29, isa.R27)
+	a.ShrImm(isa.R29, isa.R29, 3)
+	a.Add(isa.R29, isa.R29, isa.R24)
+	a.ShlImm(isa.R30, isa.R29, 1)
+	a.Add(isa.R30, isa.R30, isa.R29)
+	a.ShrImm(isa.R30, isa.R30, 2)
+	a.Add(isa.R30, isa.R30, isa.R24)
+	a.Store(isa.R23, FileHeadOff+0x18, isa.R30) // pollwake bookkeeping
+	a.Branch(isa.CEQ, isa.R24, isa.R0, "notready")
+	a.AddImm(isa.R25, isa.R25, 1)
+	a.Label("notready")
+	a.AddImm(isa.R22, isa.R22, 8)
+	a.AddImm(isa.R20, isa.R20, -1)
+	a.Jmp("loop")
+	a.Label("end")
+	a.Mov(isa.R1, isa.R25)
+	a.Ret()
+	b.fn("do_poll_scan", "fs", a.MustBuild())
+}
+
+func (b *builder) addSchedMM() {
+	// sched_switch: save 8 callee registers to the old task page, load 8
+	// from the new one, update the runqueue head.
+	a := isa.NewAsm()
+	a.Load(isa.R21, isa.R11, CtxSrc) // old task VA
+	a.Load(isa.R22, isa.R11, CtxDst) // new task VA
+	for i := int64(0); i < 8; i++ {
+		a.Store(isa.R21, 0x100+8*i, isa.Reg(23+i%5))
+	}
+	for i := int64(0); i < 8; i++ {
+		a.Load(isa.Reg(23+i%5), isa.R22, 0x100+8*i)
+	}
+	a.MovImm(isa.R20, int64(GlobalsVA()))
+	a.Store(isa.R20, OffRunqueue, isa.R22)
+	a.Ret()
+	b.fn("sched_switch", "sched", a.MustBuild())
+
+	// do_page_fault_fast: the fault path minus page zeroing — VMA scan
+	// (pointer chase) then PTE install (stores into the ctx-provided
+	// page-table slot).
+	a = isa.NewAsm()
+	a.Load(isa.R21, isa.R11, CtxExtra) // scan iterations
+	a.Label("scan")
+	a.Branch(isa.CEQ, isa.R21, isa.R0, "found")
+	a.Load(isa.R22, isa.R10, TaskStateOff)
+	a.AddImm(isa.R21, isa.R21, -1)
+	a.Jmp("scan")
+	a.Label("found")
+	a.Load(isa.R21, isa.R11, CtxDst) // new page direct-map VA
+	a.Load(isa.R23, isa.R11, CtxWords)
+	a.Call("memzero64")
+	a.Ret()
+	b.fn("do_page_fault_fast", "mm", a.MustBuild())
+
+	// dup_mm_pages: fork's page-copy loop — CtxExtra iterations of a
+	// CtxWords-word copy. The kernel points src/dst at one already-copied
+	// parent/child page pair, so each iteration idempotently redoes one
+	// page's work: the timing scales with the page count without the ISA
+	// loop wandering across unrelated physical frames.
+	a = isa.NewAsm()
+	a.Load(isa.R20, isa.R11, CtxExtra)
+	a.Label("pg")
+	a.Branch(isa.CEQ, isa.R20, isa.R0, "out")
+	a.Load(isa.R21, isa.R11, CtxDst)
+	a.Load(isa.R22, isa.R11, CtxSrc)
+	a.Load(isa.R23, isa.R11, CtxWords)
+	a.Call("memcpy64")
+	a.AddImm(isa.R20, isa.R20, -1)
+	a.Jmp("pg")
+	a.Label("out")
+	a.Ret()
+	b.fn("dup_mm_pages", "mm", a.MustBuild())
+
+	// futex_hash_ops: bucket load, short chain walk, store.
+	a = isa.NewAsm()
+	a.MovImm(isa.R21, int64(GlobalsVA()))
+	a.Load(isa.R22, isa.R21, OffFutexHash)
+	a.Load(isa.R23, isa.R10, TaskStateOff)
+	a.Store(isa.R10, TaskStateOff, isa.R23)
+	a.Ret()
+	b.fn("futex_hash_ops", "ipc", a.MustBuild())
+
+	// kmalloc_fastpath: freelist pointer chase (two loads + store), the
+	// timing face of the slab allocator.
+	a = isa.NewAsm()
+	a.MovImm(isa.R21, int64(GlobalsVA()))
+	a.Load(isa.R22, isa.R21, OffGlobalStats)
+	a.Load(isa.R23, isa.R21, OffGlobalStats+8)
+	a.AddImm(isa.R23, isa.R23, 1)
+	a.Store(isa.R21, OffGlobalStats+8, isa.R23)
+	a.Ret()
+	b.fn("kmalloc_fastpath", "mm", a.MustBuild())
+}
+
+// addGadgetCVEs registers the hand-written stand-ins for the Table 4.1
+// vulnerabilities used in the proof-of-concept attacks (§8).
+func (b *builder) addGadgetCVEs() {
+	// xusb_ioctl_gadget — CVE-2022-27223 (row 1): "array index is not
+	// validated" — a textbook Spectre v1 gadget. R2 is the attacker's
+	// index, R3 the attacker's transmit base (a user address). The bounds
+	// check loads its limit from a kernel global; there is NO sanitizing
+	// mask, so a mispredicted check transiently reads table[idx] for an
+	// arbitrary idx — i.e. any byte of kernel memory via the direct map —
+	// and transmits it as a cache-line index.
+	a := isa.NewAsm()
+	a.MovImm(isa.R20, int64(GlobalsVA()))
+	a.Load(isa.R21, isa.R20, OffXUSBLimit)
+	a.Branch(isa.CUGE, isa.R2, isa.R21, "out") // mispredicted by design
+	a.Load(isa.R22, isa.R20, OffXUSBTable)
+	a.ShlImm(isa.R23, isa.R2, 0) // byte-granular index
+	a.Add(isa.R23, isa.R22, isa.R23)
+	a.LoadB(isa.R24, isa.R23, 0) // ACCESS: the secret byte
+	a.ShlImm(isa.R25, isa.R24, 12)
+	a.Add(isa.R25, isa.R3, isa.R25)
+	a.LoadB(isa.R26, isa.R25, 0) // TRANSMIT: cache covert channel
+	a.Label("out")
+	a.MovImm(isa.R1, 0)
+	a.Ret()
+	b.add("xusb_ioctl_gadget", "drivers/usb", -1, GadgetCache, a.MustBuild())
+
+	// ptrace_peek_gadget — CVE-2019-15902 (row 2): a Spectre v1 gadget
+	// reintroduced by a bad backport. Same shape, word-granular.
+	a = isa.NewAsm()
+	a.MovImm(isa.R20, int64(GlobalsVA()))
+	a.Load(isa.R21, isa.R20, OffXUSBLimit)
+	a.Branch(isa.CUGE, isa.R2, isa.R21, "out")
+	a.Load(isa.R22, isa.R20, OffXUSBTable)
+	a.Add(isa.R23, isa.R22, isa.R2)
+	a.LoadB(isa.R24, isa.R23, 0)
+	a.ShlImm(isa.R25, isa.R24, 12)
+	a.Add(isa.R25, isa.R3, isa.R25)
+	a.LoadB(isa.R26, isa.R25, 0)
+	a.Label("out")
+	a.MovImm(isa.R1, 0)
+	a.Ret()
+	b.add("ptrace_peek_gadget", "core", -1, GadgetCache, a.MustBuild())
+
+	// bpf_verifier_gadget — the eBPF pointer-arithmetic family (rows 3–4):
+	// speculative type confusion where a verifier-approved offset is used
+	// out of context.
+	a = isa.NewAsm()
+	a.MovImm(isa.R20, int64(GlobalsVA()))
+	a.Load(isa.R21, isa.R20, OffXUSBLimit)
+	a.Branch(isa.CUGE, isa.R2, isa.R21, "out")
+	a.Load(isa.R22, isa.R20, OffXUSBTable)
+	a.Add(isa.R23, isa.R22, isa.R2)
+	a.LoadB(isa.R24, isa.R23, 0)
+	a.Mul(isa.R25, isa.R24, isa.R24) // Port-channel transmit
+	a.ShlImm(isa.R25, isa.R24, 12)
+	a.Add(isa.R25, isa.R3, isa.R25)
+	a.LoadB(isa.R26, isa.R25, 0)
+	a.Label("out")
+	a.MovImm(isa.R1, 0)
+	a.Ret()
+	b.add("bpf_verifier_gadget", "bpf", -1, GadgetCache, a.MustBuild())
+
+	// type_confuse_gadget — Function 2 of the passive attack (Figure 4.2):
+	// dereferences R1 (a live pointer in the victim's register file at
+	// hijack time — the speculative type confusion) and transmits the
+	// loaded byte at cache-line stride relative to R2 (another live victim
+	// register, typically a victim buffer pointer from its syscall args).
+	// Both accesses touch only victim-owned data, so DSVs cannot block
+	// them — the paper's argument for why passive attacks need ISVs. The
+	// attacker reads the transmission with prime+probe on the shared L2.
+	a = isa.NewAsm()
+	a.LoadB(isa.R24, isa.R1, 0) // ACCESS via type-confused register
+	a.ShlImm(isa.R25, isa.R24, 6)
+	a.Add(isa.R25, isa.R2, isa.R25)
+	a.LoadB(isa.R27, isa.R25, 0) // TRANSMIT into the victim's own buffer
+	a.Ret()
+	b.add("type_confuse_gadget", "drivers/misc", -1, GadgetCache, a.MustBuild())
+
+	// victim_fn1 — Function 1 of Figure 4.2: loads a reference to the
+	// victim's own secret into R1 (without dereferencing it) and returns —
+	// the return is the hijack point (Spectre RSB / Retbleed flavour).
+	a = isa.NewAsm()
+	a.MovImm(isa.R20, int64(GlobalsVA()))
+	a.Load(isa.R1, isa.R20, OffSecretRef)
+	a.Ret()
+	b.fn("victim_fn1", "fs", a.MustBuild())
+
+	// victim_fn2 — the Spectre v2 flavour of Function 1: loads the secret
+	// reference into R1 and then performs a legitimate indirect call whose
+	// BTB entry the attacker can poison from userspace.
+	a = isa.NewAsm()
+	a.MovImm(isa.R20, int64(GlobalsVA()))
+	a.Load(isa.R1, isa.R20, OffSecretRef)
+	a.Load(isa.R9, isa.R20, OffVictimHook)
+	a.ICall(isa.R9)
+	a.Ret()
+	b.fn("victim_fn2", "fs", a.MustBuild())
+
+}
+
+// addSyscallHandlers registers the sys_* entry functions. Each performs its
+// characteristic memory work via the helpers and then runs its generated
+// service chain (svc_<name>), ending with Ret — the unmatched outer return
+// that Retbleed-style attacks target.
+func (b *builder) addSyscallHandlers() {
+	simple := func(name string, nr int, body func(a *isa.Asm)) {
+		a := isa.NewAsm()
+		body(a)
+		a.Call("svc_" + name)
+		a.Ret()
+		b.sys(name, nr, a.MustBuild())
+	}
+
+	simple("getpid", NRGetpid, func(a *isa.Asm) {
+		a.Load(isa.R1, isa.R10, TaskPIDOff)
+	})
+	simple("getuid", NRGetuid, func(a *isa.Asm) {
+		a.Load(isa.R1, isa.R10, TaskUIDOff)
+	})
+	simple("read", NRRead, func(a *isa.Asm) {
+		a.Call("fdget")
+		a.Branch(isa.CEQ, isa.R7, isa.R0, "bad")
+		a.Call("vfs_read")
+		a.Label("bad")
+	})
+	simple("write", NRWrite, func(a *isa.Asm) {
+		a.Call("fdget")
+		a.Branch(isa.CEQ, isa.R7, isa.R0, "bad")
+		a.Call("vfs_write")
+		a.Label("bad")
+	})
+	simple("open", NROpen, func(a *isa.Asm) {
+		// Path walk: a short pointer chase over dentry-ish loads.
+		a.Load(isa.R20, isa.R10, TaskFilesOff)
+		a.Load(isa.R21, isa.R20, FDTMaxOff)
+		a.Call("kmalloc_fastpath")
+	})
+	simple("close", NRClose, func(a *isa.Asm) {
+		a.Call("fdget")
+	})
+	simple("stat", NRStat, func(a *isa.Asm) {
+		a.Load(isa.R20, isa.R10, TaskFilesOff)
+		a.Call("copy_to_user")
+	})
+	simple("fstat", NRFstat, func(a *isa.Asm) {
+		a.Call("fdget")
+		a.Call("copy_to_user")
+	})
+	simple("poll", NRPoll, func(a *isa.Asm) {
+		a.Call("copy_from_user")
+		a.Call("do_poll_scan")
+	})
+	simple("select", NRSelect, func(a *isa.Asm) {
+		a.Call("copy_from_user")
+		a.Call("do_poll_scan")
+		a.Call("copy_to_user")
+	})
+	simple("epoll_create", NREpollCreate, func(a *isa.Asm) {
+		a.Call("kmalloc_fastpath")
+	})
+	simple("epoll_ctl", NREpollCtl, func(a *isa.Asm) {
+		a.Call("fdget")
+		a.Call("kmalloc_fastpath")
+	})
+	simple("epoll_wait", NREpollWait, func(a *isa.Asm) {
+		a.Call("do_poll_scan")
+		a.Call("copy_to_user")
+	})
+	simple("mmap", NRMmap, func(a *isa.Asm) {
+		a.Call("kmalloc_fastpath")
+		// Populate: CtxExtra iterations of a one-page zero (idempotent
+		// re-zero of the first frame; see dup_mm_pages for the rationale).
+		a.Load(isa.R20, isa.R11, CtxExtra)
+		a.Label("pg")
+		a.Branch(isa.CEQ, isa.R20, isa.R0, "nopop")
+		a.Load(isa.R21, isa.R11, CtxDst)
+		a.Load(isa.R23, isa.R11, CtxWords)
+		a.Call("memzero64")
+		a.AddImm(isa.R20, isa.R20, -1)
+		a.Jmp("pg")
+		a.Label("nopop")
+	})
+	simple("munmap", NRMunmap, func(a *isa.Asm) {
+		a.Load(isa.R20, isa.R11, CtxWords)
+		a.Label("tlb")
+		a.Branch(isa.CEQ, isa.R20, isa.R0, "done")
+		a.Load(isa.R21, isa.R10, TaskStateOff)
+		a.AddImm(isa.R20, isa.R20, -1)
+		a.Jmp("tlb")
+		a.Label("done")
+	})
+	simple("brk", NRBrk, func(a *isa.Asm) {
+		a.Load(isa.R20, isa.R10, TaskStateOff)
+	})
+	simple("page_fault", NRPageFault, func(a *isa.Asm) {
+		a.Call("do_page_fault_fast")
+	})
+	simple("fork", NRFork, func(a *isa.Asm) {
+		a.Call("kmalloc_fastpath")
+		a.Call("dup_mm_pages")
+	})
+	simple("clone", NRClone, func(a *isa.Asm) {
+		a.Call("kmalloc_fastpath")
+	})
+	simple("exit", NRExit, func(a *isa.Asm) {
+		a.Call("sched_switch")
+	})
+	simple("sched_yield", NRSchedYield, func(a *isa.Asm) {
+		a.Call("sched_switch")
+	})
+	simple("nanosleep", NRNanosleep, func(a *isa.Asm) {
+		a.Call("sched_switch")
+	})
+	simple("futex", NRFutex, func(a *isa.Asm) {
+		a.Call("futex_hash_ops")
+	})
+	simple("pipe", NRPipe, func(a *isa.Asm) {
+		a.Call("kmalloc_fastpath")
+		a.Call("kmalloc_fastpath")
+	})
+	simple("dup", NRDup, func(a *isa.Asm) {
+		a.Call("fdget")
+	})
+	simple("socket", NRSocket, func(a *isa.Asm) {
+		a.Call("kmalloc_fastpath")
+	})
+	simple("bind", NRBind, func(a *isa.Asm) {
+		a.Call("fdget")
+	})
+	simple("listen", NRListen, func(a *isa.Asm) {
+		a.Call("fdget")
+	})
+	simple("connect", NRConnect, func(a *isa.Asm) {
+		a.Call("fdget")
+		a.Call("kmalloc_fastpath")
+	})
+	simple("accept", NRAccept, func(a *isa.Asm) {
+		a.Call("fdget")
+		a.Call("kmalloc_fastpath")
+	})
+	simple("send", NRSend, func(a *isa.Asm) {
+		a.Call("fdget")
+		a.Branch(isa.CEQ, isa.R7, isa.R0, "bad")
+		a.Call("sock_send_impl")
+		a.Label("bad")
+	})
+	simple("recv", NRRecv, func(a *isa.Asm) {
+		a.Call("fdget")
+		a.Branch(isa.CEQ, isa.R7, isa.R0, "bad")
+		a.Call("sock_recv_impl")
+		a.Label("bad")
+	})
+	simple("ptrace", NRPtrace, func(a *isa.Asm) {
+		a.Call("ptrace_peek_gadget")
+	})
+	simple("bpf", NRBPF, func(a *isa.Asm) {
+		a.Call("bpf_verifier_gadget")
+	})
+
+	// sys_ioctl routes through the driver dispatch table with an indirect
+	// call: R2 (bounded, sanitized) selects the driver. This is how the
+	// rarely-used driver gadgets become reachable — and why static
+	// analysis cannot include them (reachable-only edges).
+	a := isa.NewAsm()
+	a.MovImm(isa.R20, int64(GlobalsVA()))
+	a.AndImm(isa.R21, isa.R1, 15) // table index from fd arg, sanitized
+	a.ShlImm(isa.R21, isa.R21, 3)
+	a.Add(isa.R21, isa.R20, isa.R21)
+	a.Load(isa.R22, isa.R21, OffIoctlTable)
+	a.Branch(isa.CEQ, isa.R22, isa.R0, "out")
+	a.ICall(isa.R22)
+	a.Label("out")
+	a.Call("svc_ioctl")
+	a.Ret()
+	b.sys("ioctl", NRIoctl, a.MustBuild())
+}
+
+func syntheticName(nr int) string { return fmt.Sprintf("sys_%d", nr) }

@@ -1,0 +1,107 @@
+package kimage
+
+import "repro/internal/memsim"
+
+// Boot-time physical layout conventions shared between the image's
+// hand-written handler code (which needs absolute addresses at assembly
+// time) and the kernel (which reserves these frames at boot). Everything
+// else is allocated dynamically.
+const (
+	// GlobalsPA is the base of the kernel-globals region: 4 reserved frames
+	// holding the named globals below. Globals are owned by the kernel
+	// context — precisely the "unknown allocations ... originate from
+	// global variables defined in the kernel code" of §6.1 that cause DSV
+	// fences unless replicated per process.
+	GlobalsPA     = 2 * memsim.PageSize
+	GlobalsFrames = 4
+)
+
+// GlobalsVA is the direct-map virtual address of the globals region.
+func GlobalsVA() uint64 { return memsim.DirectMapVA(GlobalsPA) }
+
+// Offsets of named globals within the globals region (bytes).
+const (
+	// OffColdFlag is always zero; generated code guards its never-taken
+	// error paths on it, making those paths statically reachable but
+	// dynamically dead (the static-vs-dynamic ISV gap of §5.3).
+	OffColdFlag = 0x00
+	// OffXUSBLimit is the bounds variable of the CVE-2022-27223 stand-in
+	// gadget (Table 4.1 row 1).
+	OffXUSBLimit = 0x08
+	// OffXUSBTable is the array base the same gadget indexes.
+	OffXUSBTable = 0x10
+	// OffIoctlTable is a 16-entry table of driver handler entry VAs,
+	// dispatched through an indirect call (the reachable-only edges of
+	// Figure 5.3a).
+	OffIoctlTable = 0x40 // 16 * 8 bytes
+	// OffRunqueue is the scheduler runqueue head.
+	OffRunqueue = 0xc0
+	// OffFutexHash is the futex hash-bucket array base.
+	OffFutexHash = 0xc8
+	// OffSecretRef holds a pointer to the victim's secret buffer; Function
+	// 1 of the passive-attack example (Figure 4.2) loads it into a live
+	// register before the hijacked control transfer.
+	OffSecretRef = 0xd0
+	// OffVictimHook holds the legitimate indirect-call target of
+	// victim_fn2 (the Spectre v2 hijack point); the kernel boots it to a
+	// harmless helper.
+	OffVictimHook = 0xe8
+	// OffGenLimit is the bounds global generated gadgets check. The kernel
+	// boots it to zero, so generated gadget bodies never execute
+	// architecturally (only in cold-predictor transient windows) — they
+	// exist for the scanner and the attack-surface accounting, while the
+	// exploitable PoC gadgets above use OffXUSBLimit with a real bound.
+	OffGenLimit = 0xd8
+	// OffGenTable is the array base generated gadgets index.
+	OffGenTable = 0xe0
+	// OffGlobalStats is a bank of counters generated service code loads
+	// from (kernel-owned -> DSV fences for user contexts).
+	OffGlobalStats = 0x100 // up to GlobalsFrames*PageSize
+)
+
+// Task-page layout: each task has one task-struct frame; the syscall
+// context block starts at TaskCtxOff within it. The kernel marshals
+// per-invocation parameters here and passes R10 = task VA, R11 = ctx block
+// VA to handlers.
+const (
+	TaskFilesOff = 0x00 // pointer to fdtable page
+	TaskPIDOff   = 0x08
+	TaskStateOff = 0x10
+	TaskUIDOff   = 0x18
+
+	TaskCtxOff = 0x200
+	// Ctx block offsets relative to R11.
+	CtxSrc     = 0x00  // source buffer VA
+	CtxDst     = 0x08  // destination buffer VA
+	CtxWords   = 0x10  // 64-bit word count
+	CtxNFds    = 0x18  // fd count for poll/select scans
+	CtxFDArray = 0x20  // inline array of fd state-slot VAs (up to 60)
+	CtxReplica = 0x1e0 // per-process replica page VA (replicated globals)
+	CtxExtra   = 0x1e8 // scratch
+)
+
+// FD-table page layout (one frame per process).
+const (
+	FDTMaxOff   = 0x00 // number of slots
+	FDTArrayOff = 0x08 // file-struct VAs, 8 bytes each
+	FDTMask     = 63   // sanitizing mask applied after the bounds check
+)
+
+// File-struct layout (slab objects).
+const (
+	FileFOpsOff  = 0x00 // pointer to an f_op table
+	FileStateOff = 0x08 // readiness state for poll
+	FileDataOff  = 0x10 // backing buffer VA
+	FileHeadOff  = 0x18 // ring head (sockets/pipes)
+	FileTailOff  = 0x20 // ring tail
+	FileSizeOff  = 0x28 // backing size in bytes
+	FileStructSz = 64
+)
+
+// f_op table layout (per file type, replicated per process by Perspective).
+const (
+	FOpReadOff  = 0x00
+	FOpWriteOff = 0x08
+	FOpPollOff  = 0x10
+	FOpTableSz  = 32
+)

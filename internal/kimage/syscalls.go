@@ -1,0 +1,74 @@
+package kimage
+
+// Syscall numbers, loosely following the x86-64 table for flavour. The
+// generated image pads the table out to Spec.NumSyscalls entries with
+// synthetic syscalls so per-application ISVs cover a realistic fraction of
+// the kernel.
+const (
+	NRRead        = 0
+	NRWrite       = 1
+	NROpen        = 2
+	NRClose       = 3
+	NRStat        = 4
+	NRFstat       = 5
+	NRPoll        = 7
+	NRMmap        = 9
+	NRMunmap      = 11
+	NRBrk         = 12
+	NRIoctl       = 16
+	NRPipe        = 22
+	NRSelect      = 23
+	NRSchedYield  = 24
+	NRDup         = 32
+	NRNanosleep   = 35
+	NRGetpid      = 39
+	NRSocket      = 41
+	NRConnect     = 42
+	NRAccept      = 43
+	NRSend        = 44
+	NRRecv        = 45
+	NRBind        = 49
+	NRListen      = 50
+	NRClone       = 56
+	NRFork        = 57
+	NRExit        = 60
+	NRGetuid      = 102
+	NRPtrace      = 101
+	NRFutex       = 202
+	NREpollCreate = 213
+	NREpollWait   = 232
+	NREpollCtl    = 233
+	NRPageFault   = 250 // pseudo-syscall: the page-fault kernel entry
+	NRBPF         = 321
+
+	// NRGenBase is where synthetic padding syscalls start.
+	NRGenBase = 330
+)
+
+// NamedSyscalls lists the hand-implemented syscalls in a stable order.
+var NamedSyscalls = []struct {
+	NR   int
+	Name string
+}{
+	{NRRead, "read"}, {NRWrite, "write"}, {NROpen, "open"}, {NRClose, "close"},
+	{NRStat, "stat"}, {NRFstat, "fstat"}, {NRPoll, "poll"}, {NRMmap, "mmap"},
+	{NRMunmap, "munmap"}, {NRBrk, "brk"}, {NRIoctl, "ioctl"}, {NRPipe, "pipe"},
+	{NRSelect, "select"}, {NRSchedYield, "sched_yield"}, {NRDup, "dup"},
+	{NRNanosleep, "nanosleep"}, {NRGetpid, "getpid"}, {NRSocket, "socket"},
+	{NRConnect, "connect"}, {NRAccept, "accept"}, {NRSend, "send"},
+	{NRRecv, "recv"}, {NRBind, "bind"}, {NRListen, "listen"},
+	{NRClone, "clone"}, {NRFork, "fork"}, {NRExit, "exit"},
+	{NRGetuid, "getuid"}, {NRPtrace, "ptrace"}, {NRFutex, "futex"},
+	{NREpollCreate, "epoll_create"}, {NREpollWait, "epoll_wait"},
+	{NREpollCtl, "epoll_ctl"}, {NRPageFault, "page_fault"}, {NRBPF, "bpf"},
+}
+
+// SyscallName resolves a number to a name ("sys_348" for synthetic ones).
+func SyscallName(nr int) string {
+	for _, s := range NamedSyscalls {
+		if s.NR == nr {
+			return s.Name
+		}
+	}
+	return syntheticName(nr)
+}

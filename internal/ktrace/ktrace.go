@@ -1,0 +1,93 @@
+// Package ktrace is the kernel's function-entry tracing subsystem — the
+// ftrace equivalent Perspective's dynamic ISV generation relies on (§5.3,
+// §6.1: "we rely on the tracing subsystem of Linux to dynamically identify
+// the system calls and their function paths ... on a per-process and
+// container basis").
+//
+// It implements cpu.Tracer: the core reports every *committed* call target;
+// wrong-path (transient) targets are never reported, so traces — and the
+// dynamic ISVs built from them — only contain code the context actually ran.
+package ktrace
+
+import (
+	"sort"
+
+	"repro/internal/kimage"
+	"repro/internal/sec"
+)
+
+// Recorder accumulates per-context sets of entered functions.
+type Recorder struct {
+	img *kimage.Image
+	// ctxOf reports the context to attribute the current entry to (wired
+	// to the core's current ASID by the kernel).
+	ctxOf func() sec.Ctx
+
+	enabled map[sec.Ctx]bool
+	seen    map[sec.Ctx]map[int]bool
+	events  uint64
+}
+
+// New creates a recorder over an image. ctxOf supplies the current context.
+func New(img *kimage.Image, ctxOf func() sec.Ctx) *Recorder {
+	return &Recorder{
+		img:     img,
+		ctxOf:   ctxOf,
+		enabled: make(map[sec.Ctx]bool),
+		seen:    make(map[sec.Ctx]map[int]bool),
+	}
+}
+
+// Enable starts tracing a context.
+func (r *Recorder) Enable(ctx sec.Ctx) {
+	r.enabled[ctx] = true
+	if r.seen[ctx] == nil {
+		r.seen[ctx] = make(map[int]bool)
+	}
+}
+
+// Disable stops tracing a context (its accumulated trace is kept).
+func (r *Recorder) Disable(ctx sec.Ctx) { delete(r.enabled, ctx) }
+
+// Clear drops a context's trace.
+func (r *Recorder) Clear(ctx sec.Ctx) { delete(r.seen, ctx) }
+
+// OnFuncEnter implements cpu.Tracer.
+func (r *Recorder) OnFuncEnter(va uint64) {
+	ctx := r.ctxOf()
+	if !r.enabled[ctx] {
+		return
+	}
+	f := r.img.FuncAt(va)
+	if f == nil || f.VA != va {
+		// Not a function entry (mid-function jump target): ignore.
+		return
+	}
+	r.events++
+	r.seen[ctx][f.ID] = true
+}
+
+// NoteEntry records a syscall entry function explicitly (the dispatcher
+// enters it without a call instruction).
+func (r *Recorder) NoteEntry(ctx sec.Ctx, f *kimage.Func) {
+	if r.enabled[ctx] && f != nil {
+		r.seen[ctx][f.ID] = true
+	}
+}
+
+// Events reports total trace events recorded.
+func (r *Recorder) Events() uint64 { return r.events }
+
+// Traced returns the sorted IDs of functions a context entered.
+func (r *Recorder) Traced(ctx sec.Ctx) []int {
+	m := r.seen[ctx]
+	out := make([]int, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TracedCount reports the trace size for a context.
+func (r *Recorder) TracedCount(ctx sec.Ctx) int { return len(r.seen[ctx]) }

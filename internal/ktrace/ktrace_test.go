@@ -1,0 +1,121 @@
+package ktrace
+
+import (
+	"testing"
+
+	"repro/internal/kimage"
+	"repro/internal/sec"
+)
+
+var img = kimage.MustBuild(kimage.TestSpec())
+
+func rec(ctx sec.Ctx) (*Recorder, *sec.Ctx) {
+	cur := ctx
+	return New(img, func() sec.Ctx { return cur }), &cur
+}
+
+func TestRecordOnlyWhenEnabled(t *testing.T) {
+	r, _ := rec(3)
+	f := img.MustFunc("memcpy64")
+	r.OnFuncEnter(f.VA)
+	if r.TracedCount(3) != 0 {
+		t.Error("recorded while disabled")
+	}
+	r.Enable(3)
+	r.OnFuncEnter(f.VA)
+	if r.TracedCount(3) != 1 {
+		t.Errorf("traced = %d", r.TracedCount(3))
+	}
+	if r.Events() != 1 {
+		t.Errorf("events = %d", r.Events())
+	}
+}
+
+func TestPerContextAttribution(t *testing.T) {
+	r, cur := rec(3)
+	r.Enable(3)
+	r.Enable(4)
+	a, b := img.MustFunc("memcpy64"), img.MustFunc("fdget")
+	r.OnFuncEnter(a.VA)
+	*cur = 4
+	r.OnFuncEnter(b.VA)
+	if r.TracedCount(3) != 1 || r.TracedCount(4) != 1 {
+		t.Errorf("counts = %d, %d", r.TracedCount(3), r.TracedCount(4))
+	}
+	if r.Traced(3)[0] != a.ID || r.Traced(4)[0] != b.ID {
+		t.Error("wrong attribution")
+	}
+}
+
+func TestMidFunctionTargetsIgnored(t *testing.T) {
+	r, _ := rec(3)
+	r.Enable(3)
+	f := img.MustFunc("memcpy64")
+	r.OnFuncEnter(f.VA + 8) // not a function entry
+	if r.TracedCount(3) != 0 {
+		t.Error("mid-function target recorded")
+	}
+	r.OnFuncEnter(0xdeadbeef) // not kernel code at all
+	if r.TracedCount(3) != 0 {
+		t.Error("bogus target recorded")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	r, _ := rec(3)
+	r.Enable(3)
+	f := img.MustFunc("memcpy64")
+	for i := 0; i < 5; i++ {
+		r.OnFuncEnter(f.VA)
+	}
+	if r.TracedCount(3) != 1 {
+		t.Errorf("traced = %d, want 1 distinct", r.TracedCount(3))
+	}
+	if r.Events() != 5 {
+		t.Errorf("events = %d, want 5", r.Events())
+	}
+}
+
+func TestDisableKeepsTrace(t *testing.T) {
+	r, _ := rec(3)
+	r.Enable(3)
+	r.OnFuncEnter(img.MustFunc("memcpy64").VA)
+	r.Disable(3)
+	r.OnFuncEnter(img.MustFunc("fdget").VA)
+	if r.TracedCount(3) != 1 {
+		t.Errorf("traced = %d after disable", r.TracedCount(3))
+	}
+	r.Clear(3)
+	if r.TracedCount(3) != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestNoteEntry(t *testing.T) {
+	r, _ := rec(3)
+	f := img.MustFunc("sys_getpid")
+	r.NoteEntry(3, f) // disabled: ignored
+	if r.TracedCount(3) != 0 {
+		t.Error("NoteEntry recorded while disabled")
+	}
+	r.Enable(3)
+	r.NoteEntry(3, f)
+	r.NoteEntry(3, nil) // nil-safe
+	if r.TracedCount(3) != 1 {
+		t.Errorf("traced = %d", r.TracedCount(3))
+	}
+}
+
+func TestTracedSorted(t *testing.T) {
+	r, _ := rec(3)
+	r.Enable(3)
+	r.OnFuncEnter(img.MustFunc("vfs_read").VA)
+	r.OnFuncEnter(img.MustFunc("memcpy64").VA)
+	r.OnFuncEnter(img.MustFunc("fdget").VA)
+	ids := r.Traced(3)
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("not sorted")
+		}
+	}
+}

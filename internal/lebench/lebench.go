@@ -1,0 +1,418 @@
+// Package lebench reimplements the LEBench microbenchmark suite (§7, Ren et
+// al. SOSP'19) against the simulated kernel: one test per core OS operation,
+// measuring region-of-interest cycles per iteration on the simulated
+// out-of-order core. Figure 9.2 runs every test under every defense scheme
+// and normalizes to UNSAFE.
+package lebench
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/kimage"
+	"repro/internal/memsim"
+)
+
+// Env carries per-test state.
+type Env struct {
+	K    *kernel.Kernel
+	T    *kernel.Task
+	Peer *kernel.Task // second task for context-switch style tests
+
+	buf     uint64 // user scratch buffer
+	fd      uint64
+	fds     []int
+	epfd    uint64
+	sockA   uint64 // connected socket pair
+	sockB   uint64
+	mmapLen uint64
+}
+
+// Test is one LEBench microbenchmark.
+type Test struct {
+	Name string
+	// Setup prepares descriptors/buffers; it runs outside the ROI.
+	Setup func(e *Env) error
+	// Iter is one measured iteration.
+	Iter func(e *Env) error
+}
+
+func seedBuf(e *Env) error {
+	va, err := e.K.Syscall(e.T, kimage.NRMmap, 8*memsim.PageSize, 1)
+	if err != nil {
+		return err
+	}
+	e.buf = va
+	return e.K.CopyToUser(e.T, va, make([]byte, 64))
+}
+
+func openDataFile(e *Env, bytes int) error {
+	fd, err := e.K.Syscall(e.T, kimage.NROpen)
+	if err != nil {
+		return err
+	}
+	e.fd = fd
+	f, ok := e.K.FileByFD(e.T, int(fd))
+	if !ok {
+		return fmt.Errorf("lebench: fd lookup")
+	}
+	data := make([]byte, bytes)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	e.K.WriteFileData(f, data)
+	return nil
+}
+
+// pipePair creates a pipe and returns (rfd, wfd).
+func pipePair(e *Env) (int, int, error) {
+	ret, err := e.K.Syscall(e.T, kimage.NRPipe)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(ret >> 32), int(ret & 0xffffffff), nil
+}
+
+// Tests returns the suite in display order.
+func Tests() []Test {
+	return []Test{
+		{
+			Name:  "ref",
+			Setup: func(e *Env) error { return nil },
+			Iter: func(e *Env) error {
+				_, err := e.K.Syscall(e.T, kimage.NRGetpid)
+				return err
+			},
+		},
+		{
+			Name: "read",
+			Setup: func(e *Env) error {
+				if err := seedBuf(e); err != nil {
+					return err
+				}
+				return openDataFile(e, 4096)
+			},
+			Iter: func(e *Env) error {
+				e.K.Rewind(e.T, int(e.fd))
+				n, err := e.K.Syscall(e.T, kimage.NRRead, e.fd, e.buf, 4096)
+				if err == nil && n == 0 {
+					return fmt.Errorf("lebench: empty read")
+				}
+				return err
+			},
+		},
+		{
+			Name: "write",
+			Setup: func(e *Env) error {
+				if err := seedBuf(e); err != nil {
+					return err
+				}
+				return openDataFile(e, 64)
+			},
+			Iter: func(e *Env) error {
+				e.K.Rewind(e.T, int(e.fd))
+				_, err := e.K.Syscall(e.T, kimage.NRWrite, e.fd, e.buf, 4096)
+				return err
+			},
+		},
+		{
+			Name:  "stat",
+			Setup: seedBuf,
+			Iter: func(e *Env) error {
+				_, err := e.K.Syscall(e.T, kimage.NRStat, 0, e.buf)
+				return err
+			},
+		},
+		{
+			Name:  "open-close",
+			Setup: func(e *Env) error { return nil },
+			Iter: func(e *Env) error {
+				fd, err := e.K.Syscall(e.T, kimage.NROpen)
+				if err != nil {
+					return err
+				}
+				_, err = e.K.Syscall(e.T, kimage.NRClose, fd)
+				return err
+			},
+		},
+		{
+			Name:  "mmap",
+			Setup: func(e *Env) error { return nil },
+			Iter: func(e *Env) error {
+				va, err := e.K.Syscall(e.T, kimage.NRMmap, 16*memsim.PageSize, 1)
+				if err != nil {
+					return err
+				}
+				_, err = e.K.Syscall(e.T, kimage.NRMunmap, va, 16*memsim.PageSize)
+				return err
+			},
+		},
+		{
+			Name:  "big-mmap",
+			Setup: func(e *Env) error { return nil },
+			Iter: func(e *Env) error {
+				va, err := e.K.Syscall(e.T, kimage.NRMmap, 64*memsim.PageSize, 1)
+				if err != nil {
+					return err
+				}
+				_, err = e.K.Syscall(e.T, kimage.NRMunmap, va, 64*memsim.PageSize)
+				return err
+			},
+		},
+		{
+			Name:  "munmap",
+			Setup: func(e *Env) error { return nil },
+			Iter: func(e *Env) error {
+				va, err := e.K.Syscall(e.T, kimage.NRMmap, 8*memsim.PageSize, 0)
+				if err != nil {
+					return err
+				}
+				_, err = e.K.Syscall(e.T, kimage.NRMunmap, va, 8*memsim.PageSize)
+				return err
+			},
+		},
+		{
+			Name:  "brk",
+			Setup: func(e *Env) error { return nil },
+			Iter: func(e *Env) error {
+				e.mmapLen += memsim.PageSize
+				_, err := e.K.Syscall(e.T, kimage.NRBrk, 0x10000000+e.mmapLen)
+				return err
+			},
+		},
+		{
+			Name:  "page-fault",
+			Setup: func(e *Env) error { return nil },
+			Iter: func(e *Env) error {
+				va, err := e.K.Syscall(e.T, kimage.NRMmap, 4*memsim.PageSize, 0)
+				if err != nil {
+					return err
+				}
+				for p := uint64(0); p < 4; p++ {
+					if _, err := e.K.Syscall(e.T, kimage.NRPageFault, va+p*memsim.PageSize); err != nil {
+						return err
+					}
+				}
+				_, err = e.K.Syscall(e.T, kimage.NRMunmap, va, 4*memsim.PageSize)
+				return err
+			},
+		},
+		{
+			Name: "small-fork",
+			Setup: func(e *Env) error {
+				_, err := e.K.Syscall(e.T, kimage.NRMmap, 2*memsim.PageSize, 1)
+				return err
+			},
+			Iter: forkIter,
+		},
+		{
+			Name: "big-fork",
+			Setup: func(e *Env) error {
+				_, err := e.K.Syscall(e.T, kimage.NRMmap, 64*memsim.PageSize, 1)
+				return err
+			},
+			Iter: forkIter,
+		},
+		{
+			Name:  "thread-create",
+			Setup: func(e *Env) error { return nil },
+			Iter: func(e *Env) error {
+				pid, err := e.K.Syscall(e.T, kimage.NRClone)
+				if err != nil {
+					return err
+				}
+				e.K.ExitPID(int(pid))
+				return nil
+			},
+		},
+		{
+			Name:  "send",
+			Setup: setupSockets,
+			Iter: func(e *Env) error {
+				if _, err := e.K.Syscall(e.T, kimage.NRSend, e.sockA, e.buf, 64); err != nil {
+					return err
+				}
+				// Drain outside-of-interest to keep the ring bounded.
+				_, err := e.K.Syscall(e.Peer, kimage.NRRecv, e.sockB, e.buf, 64)
+				return err
+			},
+		},
+		{
+			Name:  "recv",
+			Setup: setupSockets,
+			Iter: func(e *Env) error {
+				if _, err := e.K.Syscall(e.Peer, kimage.NRSend, e.sockB, e.buf, 64); err != nil {
+					return err
+				}
+				_, err := e.K.Syscall(e.T, kimage.NRRecv, e.sockA, e.buf, 64)
+				return err
+			},
+		},
+		{
+			Name:  "poll",
+			Setup: setupManyFDs,
+			Iter: func(e *Env) error {
+				_, err := e.K.PollFDs(e.T, e.fds)
+				return err
+			},
+		},
+		{
+			Name:  "select",
+			Setup: setupManyFDs,
+			Iter: func(e *Env) error {
+				_, err := e.K.SelectFDs(e.T, e.fds)
+				return err
+			},
+		},
+		{
+			Name: "epoll",
+			Setup: func(e *Env) error {
+				if err := setupManyFDs(e); err != nil {
+					return err
+				}
+				epfd, err := e.K.Syscall(e.T, kimage.NREpollCreate)
+				if err != nil {
+					return err
+				}
+				e.epfd = epfd
+				for _, fd := range e.fds {
+					if _, err := e.K.Syscall(e.T, kimage.NREpollCtl, epfd, uint64(fd)); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			Iter: func(e *Env) error {
+				_, err := e.K.EpollWait(e.T, int(e.epfd))
+				return err
+			},
+		},
+		{
+			Name: "context-switch",
+			Setup: func(e *Env) error {
+				var err error
+				e.Peer, err = e.K.CreateProcess("lebench")
+				return err
+			},
+			Iter: func(e *Env) error {
+				if _, err := e.K.Syscall(e.T, kimage.NRSchedYield); err != nil {
+					return err
+				}
+				_, err := e.K.Syscall(e.Peer, kimage.NRSchedYield)
+				return err
+			},
+		},
+	}
+}
+
+func forkIter(e *Env) error {
+	pid, err := e.K.Syscall(e.T, kimage.NRFork)
+	if err != nil {
+		return err
+	}
+	e.K.ExitPID(int(pid))
+	return nil
+}
+
+func setupSockets(e *Env) error {
+	if err := seedBuf(e); err != nil {
+		return err
+	}
+	var err error
+	e.Peer, err = e.K.CreateProcess("lebench-peer")
+	if err != nil {
+		return err
+	}
+	srv, err := e.K.Syscall(e.Peer, kimage.NRSocket)
+	if err != nil {
+		return err
+	}
+	e.K.Syscall(e.Peer, kimage.NRBind, srv, 9000)
+	e.K.Syscall(e.Peer, kimage.NRListen, srv)
+	cli, err := e.K.Syscall(e.T, kimage.NRSocket)
+	if err != nil {
+		return err
+	}
+	if _, err := e.K.Syscall(e.T, kimage.NRConnect, cli, 9000); err != nil {
+		return err
+	}
+	acc, err := e.K.Syscall(e.Peer, kimage.NRAccept, srv)
+	if err != nil {
+		return err
+	}
+	e.sockA, e.sockB = cli, acc
+	// The peer needs a buffer too.
+	if err := e.K.CopyToUser(e.Peer, 0x7f00_0000_0000, make([]byte, 64)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// setupManyFDs opens 256 pipes (one readable) — the big fd-scan workload
+// whose per-file state exceeds the L1 and makes select/poll the worst cases
+// under FENCE and Delay-on-Miss (§9.1).
+func setupManyFDs(e *Env) error {
+	if err := seedBuf(e); err != nil {
+		return err
+	}
+	for i := 0; i < 256; i++ {
+		rfd, wfd, err := pipePair(e)
+		if err != nil {
+			return err
+		}
+		e.fds = append(e.fds, rfd)
+		if i == 7 {
+			if _, err := e.K.Syscall(e.T, kimage.NRWrite, uint64(wfd), e.buf, 8); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Result is one test's measurement.
+type Result struct {
+	Name          string
+	CyclesPerIter float64
+	Iters         int
+}
+
+// RunTest measures one test on a machine: setup, warmup, then the ROI.
+func RunTest(k *kernel.Kernel, tst Test, iters int) (Result, error) {
+	t, err := k.CreateProcess("lebench")
+	if err != nil {
+		return Result{}, err
+	}
+	e := &Env{K: k, T: t}
+	if err := tst.Setup(e); err != nil {
+		return Result{}, fmt.Errorf("%s setup: %w", tst.Name, err)
+	}
+	// Warmup (predictors, view caches, page tables).
+	for i := 0; i < 2; i++ {
+		if err := tst.Iter(e); err != nil {
+			return Result{}, fmt.Errorf("%s warmup: %w", tst.Name, err)
+		}
+	}
+	start := k.Core.Now()
+	for i := 0; i < iters; i++ {
+		if err := tst.Iter(e); err != nil {
+			return Result{}, fmt.Errorf("%s iter %d: %w", tst.Name, i, err)
+		}
+	}
+	cycles := k.Core.Now() - start
+	return Result{Name: tst.Name, CyclesPerIter: cycles / float64(iters), Iters: iters}, nil
+}
+
+// Profile lists the syscalls the suite uses — the input to ISV generation.
+func Profile() []int {
+	return []int{
+		kimage.NRGetpid, kimage.NRRead, kimage.NRWrite, kimage.NRStat,
+		kimage.NROpen, kimage.NRClose, kimage.NRMmap, kimage.NRMunmap,
+		kimage.NRBrk, kimage.NRPageFault, kimage.NRFork, kimage.NRClone,
+		kimage.NRExit, kimage.NRSend, kimage.NRRecv, kimage.NRSocket,
+		kimage.NRBind, kimage.NRListen, kimage.NRConnect, kimage.NRAccept,
+		kimage.NRPoll, kimage.NRSelect, kimage.NREpollCreate,
+		kimage.NREpollCtl, kimage.NREpollWait, kimage.NRPipe,
+		kimage.NRSchedYield, kimage.NRFutex,
+	}
+}

@@ -1,0 +1,32 @@
+package lebench
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/kimage"
+)
+
+var testImg = kimage.MustBuild(kimage.TestSpec())
+
+func TestAllTestsRun(t *testing.T) {
+	for _, tst := range Tests() {
+		tst := tst
+		t.Run(tst.Name, func(t *testing.T) {
+			k, err := kernel.New(kernel.DefaultConfig(), testImg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunTest(k, tst, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.CyclesPerIter <= 0 {
+				t.Errorf("cycles = %f", res.CyclesPerIter)
+			}
+			if k.Stats.HandlerFaults != 0 {
+				t.Errorf("handler faults = %d", k.Stats.HandlerFaults)
+			}
+		})
+	}
+}

@@ -1,0 +1,216 @@
+// Package memsim provides the simulated physical memory and the kernel
+// virtual-address layout used throughout the reproduction. It mirrors the
+// parts of the Linux x86-64 memory map the paper relies on: a direct map of
+// all physical frames (the reason a single kernel gadget can leak *all*
+// memory, §4.1), a kernel text region, and a vmalloc region for kernel
+// stacks.
+package memsim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Page geometry.
+const (
+	PageSize  = 4096
+	PageShift = 12
+)
+
+// Virtual layout constants, loosely following Linux x86-64
+// (Documentation/x86/x86_64/mm.rst).
+const (
+	// DirectMapBase is the start of the direct map of all physical memory.
+	DirectMapBase uint64 = 0xffff_8880_0000_0000
+	// VmallocBase is the start of the vmalloc area (kernel stacks here).
+	VmallocBase uint64 = 0xffff_c900_0000_0000
+	// VmallocSize bounds the vmalloc area.
+	VmallocSize uint64 = 1 << 30
+	// PerCPUBase is the start of the per-cpu variable area.
+	PerCPUBase uint64 = 0xffff_9000_0000_0000
+	// PerCPUSize bounds the per-cpu area.
+	PerCPUSize uint64 = 1 << 21
+	// KernelTextBase is where kernel functions are placed.
+	KernelTextBase uint64 = 0xffff_ffff_8100_0000
+	// ISVOffset is the fixed offset from a kernel code page to its ISV page
+	// region (§6.2, Figure 6.1a). Purely a naming device in this model: the
+	// isv package owns the backing bits.
+	ISVOffset uint64 = 0x0000_0000_4000_0000
+	// UserMax is the highest canonical userspace address + 1.
+	UserMax uint64 = 0x0000_8000_0000_0000
+)
+
+// IsUser reports whether va lies in the userspace half of the address space.
+func IsUser(va uint64) bool { return va < UserMax }
+
+// IsKernel reports whether va lies in the kernel half.
+func IsKernel(va uint64) bool { return va >= DirectMapBase }
+
+// PageBase returns the base address of the page containing va.
+func PageBase(va uint64) uint64 { return va &^ (PageSize - 1) }
+
+// Phys is the simulated physical memory: a flat array of frames. All
+// simulated loads and stores ultimately land here, so a speculatively leaked
+// byte is a byte some victim really stored.
+type Phys struct {
+	data   []byte
+	frames int
+}
+
+// NewPhys creates a physical memory of n frames.
+func NewPhys(frames int) *Phys {
+	if frames <= 0 {
+		panic("memsim: frames must be positive")
+	}
+	return &Phys{data: make([]byte, frames*PageSize), frames: frames}
+}
+
+// Frames reports the number of physical frames.
+func (p *Phys) Frames() int { return p.frames }
+
+// Bytes reports total physical bytes.
+func (p *Phys) Bytes() uint64 { return uint64(len(p.data)) }
+
+// Contains reports whether pa is a valid physical address.
+func (p *Phys) Contains(pa uint64) bool { return pa < uint64(len(p.data)) }
+
+// Read64 reads 8 bytes at pa (little endian). It panics on out-of-range
+// addresses: callers must translate and validate first.
+func (p *Phys) Read64(pa uint64) uint64 {
+	return binary.LittleEndian.Uint64(p.data[pa : pa+8])
+}
+
+// Write64 writes 8 bytes at pa.
+func (p *Phys) Write64(pa uint64, v uint64) {
+	binary.LittleEndian.PutUint64(p.data[pa:pa+8], v)
+}
+
+// Read8 reads one byte.
+func (p *Phys) Read8(pa uint64) byte { return p.data[pa] }
+
+// Write8 writes one byte.
+func (p *Phys) Write8(pa uint64, v byte) { p.data[pa] = v }
+
+// ZeroFrame clears the frame containing pa, as the kernel does before handing
+// a page to userspace.
+func (p *Phys) ZeroFrame(pfn uint64) {
+	off := pfn * PageSize
+	for i := range p.data[off : off+PageSize] {
+		p.data[off+uint64(i)] = 0
+	}
+}
+
+// CopyFrame copies frame src to frame dst (fork, COW break).
+func (p *Phys) CopyFrame(dst, src uint64) {
+	copy(p.data[dst*PageSize:(dst+1)*PageSize], p.data[src*PageSize:(src+1)*PageSize])
+}
+
+// DirectMapVA returns the direct-map virtual address of physical address pa.
+func DirectMapVA(pa uint64) uint64 { return DirectMapBase + pa }
+
+// DirectMapPA returns the physical address for a direct-map VA, or ok=false
+// if va is not in the direct map window for a memory of size bytes.
+func DirectMapPA(va, size uint64) (pa uint64, ok bool) {
+	if va < DirectMapBase {
+		return 0, false
+	}
+	pa = va - DirectMapBase
+	return pa, pa < size
+}
+
+// Translator maps virtual to physical addresses for one execution context.
+// The kernel package implements this with real (simulated) page tables for
+// the user half and the fixed kernel windows for the kernel half.
+type Translator interface {
+	// Translate returns the physical address backing va, with ok=false for
+	// unmapped addresses (a page fault architecturally; a squashed access
+	// speculatively).
+	Translate(va uint64) (pa uint64, ok bool)
+	// KernelAllowed reports whether kernel-half addresses may be accessed.
+	// It is false while executing user code (the user/kernel privilege
+	// check; Meltdown is out of the paper's threat model, so user code
+	// never reads kernel data even transiently).
+	KernelAllowed() bool
+}
+
+// Mem couples a Translator with physical memory to give the byte-addressed
+// view the CPU core loads and stores through.
+type Mem struct {
+	Phys *Phys
+	Tr   Translator
+}
+
+// Resolve translates va for an access of the given size, applying the
+// privilege check and rejecting page-straddling or unmapped accesses. The
+// CPU core uses the returned physical address to index the (physically
+// indexed) caches.
+func (m *Mem) Resolve(va uint64, size uint8) (pa uint64, ok bool) {
+	return m.translateChecked(va, uint64(size))
+}
+
+// Load reads size (1 or 8) bytes at va. ok=false means the access faults;
+// the core squashes (transient) or raises (architectural).
+func (m *Mem) Load(va uint64, size uint8) (uint64, bool) {
+	pa, ok := m.translateChecked(va, uint64(size))
+	if !ok {
+		return 0, false
+	}
+	if size == 1 {
+		return uint64(m.Phys.Read8(pa)), true
+	}
+	return m.Phys.Read64(pa), true
+}
+
+// Store writes size (1 or 8) bytes at va.
+func (m *Mem) Store(va uint64, size uint8, v uint64) bool {
+	pa, ok := m.translateChecked(va, uint64(size))
+	if !ok {
+		return false
+	}
+	if size == 1 {
+		m.Phys.Write8(pa, byte(v))
+	} else {
+		m.Phys.Write64(pa, v)
+	}
+	return true
+}
+
+func (m *Mem) translateChecked(va, size uint64) (uint64, bool) {
+	if IsKernel(va) && !m.Tr.KernelAllowed() {
+		return 0, false
+	}
+	// Accesses must not straddle a page boundary (the synthetic kernel is
+	// built so they never do).
+	if PageBase(va) != PageBase(va+size-1) {
+		return 0, false
+	}
+	pa, ok := m.Tr.Translate(va)
+	if !ok || !m.Phys.Contains(pa+size-1) {
+		return 0, false
+	}
+	return pa, ok
+}
+
+// FixedTranslator is a Translator for bare kernel-only execution: direct map
+// and nothing else. Tests and the attack harness use it when no process
+// context exists.
+type FixedTranslator struct {
+	Size        uint64 // physical size in bytes
+	AllowKernel bool
+}
+
+// Translate implements Translator.
+func (f *FixedTranslator) Translate(va uint64) (uint64, bool) {
+	return DirectMapPA(va, f.Size)
+}
+
+// KernelAllowed implements Translator.
+func (f *FixedTranslator) KernelAllowed() bool { return f.AllowKernel }
+
+// String renders the layout; used by the Table 7.1 dump.
+func LayoutString() string {
+	return fmt.Sprintf(
+		"direct map @ %#x\nvmalloc    @ %#x (+%#x)\nper-cpu    @ %#x (+%#x)\nkernel txt @ %#x\nISV offset   %#x\nuser max     %#x\n",
+		DirectMapBase, VmallocBase, VmallocSize, PerCPUBase, PerCPUSize,
+		KernelTextBase, ISVOffset, UserMax)
+}

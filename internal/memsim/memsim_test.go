@@ -1,0 +1,147 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPhysReadWrite(t *testing.T) {
+	p := NewPhys(4)
+	p.Write64(0, 0xdeadbeefcafef00d)
+	if got := p.Read64(0); got != 0xdeadbeefcafef00d {
+		t.Errorf("Read64 = %#x", got)
+	}
+	p.Write8(100, 0xab)
+	if got := p.Read8(100); got != 0xab {
+		t.Errorf("Read8 = %#x", got)
+	}
+	// Little endian: low byte of a 64-bit write is at the base address.
+	p.Write64(200, 0x0102030405060708)
+	if got := p.Read8(200); got != 0x08 {
+		t.Errorf("low byte = %#x, want 0x08", got)
+	}
+}
+
+func TestPhysContains(t *testing.T) {
+	p := NewPhys(2)
+	if !p.Contains(0) || !p.Contains(2*PageSize-1) {
+		t.Error("valid addresses reported out of range")
+	}
+	if p.Contains(2 * PageSize) {
+		t.Error("end address reported in range")
+	}
+}
+
+func TestZeroAndCopyFrame(t *testing.T) {
+	p := NewPhys(3)
+	p.Write64(PageSize+8, 77)
+	p.CopyFrame(2, 1)
+	if got := p.Read64(2*PageSize + 8); got != 77 {
+		t.Errorf("copied frame value = %d, want 77", got)
+	}
+	p.ZeroFrame(1)
+	if got := p.Read64(PageSize + 8); got != 0 {
+		t.Errorf("zeroed frame value = %d, want 0", got)
+	}
+	if got := p.Read64(2*PageSize + 8); got != 77 {
+		t.Error("zeroing frame 1 touched frame 2")
+	}
+}
+
+func TestDirectMapRoundTrip(t *testing.T) {
+	f := func(pa32 uint32) bool {
+		pa := uint64(pa32)
+		va := DirectMapVA(pa)
+		got, ok := DirectMapPA(va, 1<<33)
+		return ok && got == pa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectMapPARejectsOutOfRange(t *testing.T) {
+	if _, ok := DirectMapPA(DirectMapBase+PageSize, PageSize); ok {
+		t.Error("VA beyond physical size accepted")
+	}
+	if _, ok := DirectMapPA(0x1000, 1<<30); ok {
+		t.Error("user VA accepted as direct map")
+	}
+}
+
+func TestIsUserIsKernel(t *testing.T) {
+	if !IsUser(0x400000) || IsUser(DirectMapBase) {
+		t.Error("IsUser wrong")
+	}
+	if !IsKernel(KernelTextBase) || !IsKernel(DirectMapBase) || IsKernel(0x400000) {
+		t.Error("IsKernel wrong")
+	}
+}
+
+func TestMemLoadStore(t *testing.T) {
+	p := NewPhys(4)
+	m := &Mem{Phys: p, Tr: &FixedTranslator{Size: p.Bytes(), AllowKernel: true}}
+	va := DirectMapVA(3 * PageSize)
+	if !m.Store(va, 8, 0x1122334455667788) {
+		t.Fatal("store failed")
+	}
+	v, ok := m.Load(va, 8)
+	if !ok || v != 0x1122334455667788 {
+		t.Fatalf("load = %#x, %v", v, ok)
+	}
+	v, ok = m.Load(va, 1)
+	if !ok || v != 0x88 {
+		t.Fatalf("byte load = %#x, %v", v, ok)
+	}
+}
+
+func TestMemPrivilegeCheck(t *testing.T) {
+	p := NewPhys(4)
+	m := &Mem{Phys: p, Tr: &FixedTranslator{Size: p.Bytes(), AllowKernel: false}}
+	if _, ok := m.Load(DirectMapVA(0), 8); ok {
+		t.Error("kernel VA readable with KernelAllowed=false (Meltdown!)")
+	}
+	if m.Store(DirectMapVA(0), 8, 1) {
+		t.Error("kernel VA writable with KernelAllowed=false")
+	}
+}
+
+func TestMemRejectsUnmappedAndStraddle(t *testing.T) {
+	p := NewPhys(2)
+	m := &Mem{Phys: p, Tr: &FixedTranslator{Size: p.Bytes(), AllowKernel: true}}
+	if _, ok := m.Load(DirectMapVA(2*PageSize), 8); ok {
+		t.Error("load beyond physical memory succeeded")
+	}
+	// A 64-bit access straddling the page boundary is rejected.
+	if _, ok := m.Load(DirectMapVA(PageSize-4), 8); ok {
+		t.Error("straddling load succeeded")
+	}
+	// One fully inside is fine.
+	if _, ok := m.Load(DirectMapVA(PageSize-8), 8); !ok {
+		t.Error("aligned end-of-page load failed")
+	}
+}
+
+func TestPageBase(t *testing.T) {
+	if PageBase(0x1234) != 0x1000 {
+		t.Errorf("PageBase(0x1234) = %#x", PageBase(0x1234))
+	}
+	if PageBase(DirectMapBase+5) != DirectMapBase {
+		t.Error("PageBase on kernel VA wrong")
+	}
+}
+
+func TestLayoutStringNonEmpty(t *testing.T) {
+	if LayoutString() == "" {
+		t.Error("empty layout")
+	}
+}
+
+func TestNewPhysPanicsOnZeroFrames(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero frames")
+		}
+	}()
+	NewPhys(0)
+}

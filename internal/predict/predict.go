@@ -1,0 +1,209 @@
+// Package predict models the branch prediction structures of Table 7.1: a
+// history-based conditional predictor (a gshare stand-in for gem5's L-TAGE),
+// a 4096-entry branch target buffer, and a 16-entry return address stack.
+//
+// Two properties matter for the paper's attacks and are modelled faithfully:
+//
+//   - The BTB is indexed and partially tagged by PC bits only, with no
+//     address-space tag, so an attacker can install entries from its own
+//     context that a victim's kernel indirect branch will consume (Spectre
+//     v2, §2.2) — including entries whose target the attacker chose.
+//   - The RAS/RSB is a small circular stack that retains stale entries
+//     across context switches and underflows onto them, enabling Spectre RSB
+//     (§2.2) and Retbleed-style return hijacking.
+package predict
+
+// CondPredictor is a bimodal conditional branch predictor: a table of 2-bit
+// saturating counters indexed by PC. It stands in for gem5's L-TAGE; the
+// property the paper's attacks need — that an attacker who repeatedly drives
+// a kernel bounds check one way biases its next prediction that way — holds
+// for both, and the bimodal table makes the mistraining PoCs deterministic.
+type CondPredictor struct {
+	counters []uint8
+	mask     uint64
+}
+
+// NewCondPredictor creates a predictor with 2^bits counters.
+func NewCondPredictor(bits uint) *CondPredictor {
+	n := 1 << bits
+	c := &CondPredictor{
+		counters: make([]uint8, n),
+		mask:     uint64(n - 1),
+	}
+	// Weakly taken start, like most real tables after reset.
+	for i := range c.counters {
+		c.counters[i] = 1
+	}
+	return c
+}
+
+func (c *CondPredictor) index(pc uint64) uint64 {
+	return (pc >> 2) & c.mask
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (c *CondPredictor) Predict(pc uint64) bool {
+	return c.counters[c.index(pc)] >= 2
+}
+
+// Update trains the counter with the resolved direction. Mistraining a
+// kernel bounds check (§4.1 step 1) is literally calling this repeatedly
+// with taken=true via in-bounds syscalls.
+func (c *CondPredictor) Update(pc uint64, taken bool) {
+	i := c.index(pc)
+	if taken {
+		if c.counters[i] < 3 {
+			c.counters[i]++
+		}
+	} else if c.counters[i] > 0 {
+		c.counters[i]--
+	}
+}
+
+// BTBEntry is one branch target buffer entry.
+type BTBEntry struct {
+	valid  bool
+	tag    uint64
+	target uint64
+}
+
+// BTB is a direct-mapped branch target buffer. The partial tag means
+// attacker-chosen PCs can alias victim branch PCs — the injection vector of
+// Spectre v2 and BHI (Table 4.1, rows 5–9).
+type BTB struct {
+	entries []BTBEntry
+	mask    uint64
+	tagBits uint
+}
+
+// NewBTB creates a BTB with the given number of entries (power of two).
+func NewBTB(entries int) *BTB {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("predict: BTB entries must be a positive power of two")
+	}
+	return &BTB{
+		entries: make([]BTBEntry, entries),
+		mask:    uint64(entries - 1),
+		tagBits: 8,
+	}
+}
+
+func (b *BTB) index(pc uint64) (idx, tag uint64) {
+	line := pc >> 2
+	idx = line & b.mask
+	tag = (line >> log2len(len(b.entries))) & ((1 << b.tagBits) - 1)
+	return
+}
+
+func log2len(n int) uint {
+	s := uint(0)
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
+// Predict returns the predicted target of the indirect branch at pc.
+func (b *BTB) Predict(pc uint64) (target uint64, ok bool) {
+	idx, tag := b.index(pc)
+	e := b.entries[idx]
+	if e.valid && e.tag == tag {
+		return e.target, true
+	}
+	return 0, false
+}
+
+// Update installs the resolved target for pc.
+func (b *BTB) Update(pc, target uint64) {
+	idx, tag := b.index(pc)
+	b.entries[idx] = BTBEntry{valid: true, tag: tag, target: target}
+}
+
+// Aliases reports whether installing at pcA would be consumed by a lookup at
+// pcB — the attacker uses this to find colliding injection PCs.
+func (b *BTB) Aliases(pcA, pcB uint64) bool {
+	ia, ta := b.index(pcA)
+	ib, tb := b.index(pcB)
+	return ia == ib && ta == tb
+}
+
+// FlushAll models IBPB: it invalidates every entry.
+func (b *BTB) FlushAll() {
+	for i := range b.entries {
+		b.entries[i] = BTBEntry{}
+	}
+}
+
+// RAS is the return address stack (RSB). It is a circular buffer: pushes
+// beyond capacity overwrite the oldest entry, and pops beyond the pushed
+// depth return stale junk instead of failing — exactly the underflow
+// behaviour Spectre RSB exploits.
+type RAS struct {
+	stack []uint64
+	top   int // index of next push slot
+	depth int // live entries (capped at len)
+}
+
+// NewRAS creates an n-entry return address stack.
+func NewRAS(n int) *RAS {
+	if n <= 0 {
+		panic("predict: RAS size must be positive")
+	}
+	return &RAS{stack: make([]uint64, n)}
+}
+
+// Push records a call's return address.
+func (r *RAS) Push(addr uint64) {
+	r.stack[r.top] = addr
+	r.top = (r.top + 1) % len(r.stack)
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return. The hardware has no notion of "stack
+// empty": the top pointer always wraps downward and serves whatever value
+// sits there. A pop with no matching push therefore consumes a *stale*
+// entry — left by an earlier context whose pushes were never popped — which
+// is exactly the Spectre RSB / Retbleed injection vector. ok is false only
+// when the slot has never held an address.
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	fresh := r.depth > 0
+	if fresh {
+		r.depth--
+	}
+	return r.stack[r.top], fresh || r.stack[r.top] != 0
+}
+
+// Peek returns what the next Pop would predict without changing state;
+// wrong-path returns use it so a squash leaves the RAS intact.
+func (r *RAS) Peek() (addr uint64, ok bool) {
+	i := (r.top - 1 + len(r.stack)) % len(r.stack)
+	return r.stack[i], r.depth > 0 || r.stack[i] != 0
+}
+
+// FlushAll models an RSB stuffing/clearing mitigation.
+func (r *RAS) FlushAll() {
+	for i := range r.stack {
+		r.stack[i] = 0
+	}
+	r.top, r.depth = 0, 0
+}
+
+// Predictor bundles the three structures with Table 7.1 sizes.
+type Predictor struct {
+	Cond *CondPredictor
+	BTB  *BTB
+	RAS  *RAS
+}
+
+// New returns the default Table 7.1 predictor: L-TAGE stand-in with 16K
+// counters, 4096-entry BTB, 16-entry RAS.
+func New() *Predictor {
+	return &Predictor{
+		Cond: NewCondPredictor(14),
+		BTB:  NewBTB(4096),
+		RAS:  NewRAS(16),
+	}
+}

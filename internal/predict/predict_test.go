@@ -1,0 +1,199 @@
+package predict
+
+import "testing"
+
+func TestCondMistraining(t *testing.T) {
+	c := NewCondPredictor(10)
+	pc := uint64(0xffffffff81000040)
+	// Train taken repeatedly — the attacker's mistraining loop.
+	for i := 0; i < 8; i++ {
+		c.Update(pc, true)
+	}
+	if !c.Predict(pc) {
+		t.Error("predictor not trained taken after 8 taken updates")
+	}
+	// Retrain not-taken.
+	for i := 0; i < 8; i++ {
+		c.Update(pc, false)
+	}
+	if c.Predict(pc) {
+		t.Error("predictor still taken after 8 not-taken updates")
+	}
+}
+
+func TestCondSaturation(t *testing.T) {
+	c := NewCondPredictor(10)
+	pc := uint64(0x1000)
+	for i := 0; i < 100; i++ {
+		c.Update(pc, true)
+	}
+	// One contrary outcome must not flip a saturated counter.
+	c.Update(pc, false)
+	if !c.Predict(pc) {
+		t.Error("single not-taken flipped a saturated counter")
+	}
+}
+
+func TestCondDistinctPCsIndependent(t *testing.T) {
+	c := NewCondPredictor(10)
+	a, b := uint64(0x1000), uint64(0x1004)
+	for i := 0; i < 8; i++ {
+		c.Update(a, true)
+		c.Update(b, false)
+	}
+	if !c.Predict(a) || c.Predict(b) {
+		t.Error("adjacent branch PCs share a counter")
+	}
+}
+
+func TestBTBInstallAndPredict(t *testing.T) {
+	b := NewBTB(64)
+	pc, tgt := uint64(0xffffffff81001234)&^3, uint64(0xffffffff81ffff00)
+	if _, ok := b.Predict(pc); ok {
+		t.Error("cold BTB predicted")
+	}
+	b.Update(pc, tgt)
+	got, ok := b.Predict(pc)
+	if !ok || got != tgt {
+		t.Errorf("Predict = %#x, %v", got, ok)
+	}
+}
+
+// Cross-context injection: an attacker branch at an aliasing PC installs a
+// target that the victim's branch consumes — the Spectre v2 primitive.
+func TestBTBAliasingInjection(t *testing.T) {
+	b := NewBTB(64)
+	victimPC := uint64(0xffffffff81000800)
+	// Construct an attacker PC with identical index and partial tag:
+	// add a multiple of (entries << tagBits) lines.
+	attackerPC := victimPC + uint64(64<<8)*4
+	if !b.Aliases(attackerPC, victimPC) {
+		t.Fatalf("constructed PCs do not alias")
+	}
+	gadget := uint64(0xffffffff81badbad) &^ 3
+	b.Update(attackerPC, gadget)
+	got, ok := b.Predict(victimPC)
+	if !ok || got != gadget {
+		t.Errorf("victim predicted %#x, %v; want attacker gadget", got, ok)
+	}
+}
+
+func TestBTBFlushAll(t *testing.T) {
+	b := NewBTB(64)
+	b.Update(0x1000, 0x2000)
+	b.FlushAll()
+	if _, ok := b.Predict(0x1000); ok {
+		t.Error("entry survived IBPB flush")
+	}
+}
+
+func TestBTBDistinctTagsDoNotAlias(t *testing.T) {
+	b := NewBTB(64)
+	pcA := uint64(0x1000)
+	pcB := pcA + 4*64 // same... different index actually
+	if b.Aliases(pcA, pcB) {
+		t.Error("adjacent-index PCs alias")
+	}
+	b.Update(pcA, 0xdead)
+	if _, ok := b.Predict(pcB); ok {
+		t.Error("prediction for different index")
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(0x10)
+	r.Push(0x20)
+	a, ok := r.Pop()
+	if !ok || a != 0x20 {
+		t.Errorf("Pop = %#x, %v", a, ok)
+	}
+	a, ok = r.Pop()
+	if !ok || a != 0x10 {
+		t.Errorf("Pop = %#x, %v", a, ok)
+	}
+}
+
+// Overflow wraps: pushing capacity+1 entries loses the oldest.
+func TestRASOverflow(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if a, _ := r.Pop(); a != 3 {
+		t.Errorf("pop1 = %d", a)
+	}
+	if a, _ := r.Pop(); a != 2 {
+		t.Errorf("pop2 = %d", a)
+	}
+	// Depth exhausted; the pointer wraps downward onto the slot that holds
+	// stale 3 — stale data, not fresh truth.
+	a, _ := r.Pop()
+	if a != 3 {
+		t.Errorf("underflow pop = %d, want stale 3", a)
+	}
+}
+
+// Underflow returns stale attacker-planted entries — the Spectre RSB
+// primitive. The attacker's kernel path performs net-positive pushes (its
+// final return to userspace is a sysret, not a ret), leaving gadget
+// addresses in the array. The victim's balanced inner call/ret pair is
+// unaffected, but its *unmatched* outer return consumes an attacker entry.
+func TestRASUnderflowUsesStaleEntries(t *testing.T) {
+	r := NewRAS(4)
+	gadget := uint64(0xffffffff81c0ffee)
+	for i := 0; i < 4; i++ {
+		r.Push(gadget) // attacker's net-positive call chain
+	}
+	// Victim: balanced call/ret predicts correctly...
+	ret := uint64(0xffffffff81001234)
+	r.Push(ret)
+	if a, ok := r.Pop(); !ok || a != ret {
+		t.Fatalf("balanced pop = %#x, %v", a, ok)
+	}
+	// ...but the unmatched outer return pops the attacker's stale entry.
+	a, ok := r.Pop()
+	if !ok || a != gadget {
+		t.Errorf("unmatched pop = %#x, %v; want stale gadget", a, ok)
+	}
+}
+
+func TestRASFlushAll(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(0x1234)
+	r.Pop()
+	r.FlushAll()
+	if a, ok := r.Pop(); ok || a != 0 {
+		t.Errorf("stale entry after flush: %#x %v", a, ok)
+	}
+}
+
+func TestNewDefaultSizes(t *testing.T) {
+	p := New()
+	if len(p.BTB.entries) != 4096 {
+		t.Errorf("BTB entries = %d, want 4096 (Table 7.1)", len(p.BTB.entries))
+	}
+	if len(p.RAS.stack) != 16 {
+		t.Errorf("RAS entries = %d, want 16 (Table 7.1)", len(p.RAS.stack))
+	}
+	if len(p.Cond.counters) != 1<<14 {
+		t.Errorf("cond counters = %d", len(p.Cond.counters))
+	}
+}
+
+func TestBadSizesPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"btb-zero":    func() { NewBTB(0) },
+		"btb-nonpow2": func() { NewBTB(3) },
+		"ras-zero":    func() { NewRAS(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,143 @@
+package scanner
+
+import (
+	"testing"
+
+	"repro/internal/callgraph"
+	"repro/internal/isvgen"
+	"repro/internal/kimage"
+)
+
+var img = kimage.MustBuild(kimage.TestSpec())
+
+// Recall: every seeded gadget function is detected, with the right channel.
+func TestAnalyzeFindsAllSeededGadgets(t *testing.T) {
+	for _, f := range img.Gadgets() {
+		finds := AnalyzeFunc(f)
+		if len(finds) == 0 {
+			t.Errorf("%s (%v): no findings", f.Name, f.Gadget)
+			continue
+		}
+		kindSeen := false
+		for _, fd := range finds {
+			if fd.Kind == f.Gadget {
+				kindSeen = true
+			}
+		}
+		if !kindSeen {
+			t.Errorf("%s: seeded %v, found %v", f.Name, f.Gadget, finds[0].Kind)
+		}
+	}
+}
+
+// Precision: gadget-free functions produce no findings — sanitized patterns
+// (fdget's masked index) included.
+func TestAnalyzeNoFalsePositives(t *testing.T) {
+	fps := 0
+	for _, f := range img.Funcs() {
+		if f.Gadget != kimage.GadgetNone {
+			continue
+		}
+		if finds := AnalyzeFunc(f); len(finds) > 0 {
+			fps++
+			if fps <= 3 {
+				t.Errorf("false positive in %s: %+v", f.Name, finds[0])
+			}
+		}
+	}
+	if fps > 0 {
+		t.Errorf("%d false positives total", fps)
+	}
+}
+
+func TestSanitizedPatternClean(t *testing.T) {
+	f := img.MustFunc("fdget")
+	if finds := AnalyzeFunc(f); len(finds) != 0 {
+		t.Errorf("sanitized fdget flagged: %+v", finds)
+	}
+}
+
+func TestCVEGadgetsDetected(t *testing.T) {
+	for _, name := range []string{"xusb_ioctl_gadget", "ptrace_peek_gadget", "type_confuse_gadget"} {
+		if len(AnalyzeFunc(img.MustFunc(name))) == 0 {
+			t.Errorf("%s not detected", name)
+		}
+	}
+}
+
+func TestScanWholeKernel(t *testing.T) {
+	g := callgraph.New(img)
+	scope := g.WholeKernelClosure()
+	rep := Scan(img, scope, 1)
+	if rep.FuncsScanned != len(scope) {
+		t.Errorf("scanned %d of %d", rep.FuncsScanned, len(scope))
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("no findings in whole-kernel scan")
+	}
+	m, p, c := rep.Census()
+	if m == 0 || p == 0 || c == 0 {
+		t.Errorf("census %d/%d/%d missing a class", m, p, c)
+	}
+	if rep.TotalCost <= 0 || rep.Hours() <= 0 || rep.Rate() <= 0 {
+		t.Error("degenerate cost accounting")
+	}
+	// Findings are stamped with nondecreasing cost.
+	for i := 1; i < len(rep.Findings); i++ {
+		if rep.Findings[i].Cost < rep.Findings[i-1].Cost {
+			t.Fatal("finding costs not monotone")
+		}
+	}
+}
+
+func TestScanDeterministicPerSeed(t *testing.T) {
+	g := callgraph.New(img)
+	scope := g.SyscallClosure([]int{kimage.NRRead, kimage.NRPoll})
+	a := Scan(img, scope, 7)
+	b := Scan(img, scope, 7)
+	if len(a.Findings) != len(b.Findings) || a.TotalCost != b.TotalCost {
+		t.Error("same seed, different campaign")
+	}
+}
+
+// The Figure 9.1 effect: bounding the campaign to an ISV raises the
+// discovery rate (gadgets per hour).
+func TestISVBoundedSpeedup(t *testing.T) {
+	g := callgraph.New(img)
+	profile := isvgen.Profile{
+		Name: "app",
+		Syscalls: []int{
+			kimage.NRRead, kimage.NRWrite, kimage.NROpen, kimage.NRClose,
+			kimage.NRPoll, kimage.NRMmap, kimage.NRSend, kimage.NRRecv,
+			kimage.NRGetpid, kimage.NRGenBase, kimage.NRGenBase + 1,
+		},
+	}
+	st := isvgen.Static(img, g, profile)
+	unbounded := Scan(img, g.WholeKernelClosure(), 1)
+	bounded := Scan(img, st.Funcs, 1)
+	s := Speedup(bounded, unbounded)
+	if s <= 1.0 {
+		t.Errorf("no speedup from ISV bounding: %.2fx", s)
+	}
+	if s > 40 {
+		t.Errorf("implausible speedup %.2fx", s)
+	}
+	// The bounded scan covers a strict subset.
+	if bounded.FuncsScanned >= unbounded.FuncsScanned {
+		t.Error("bounded scan not smaller")
+	}
+}
+
+// GadgetFuncIDs feeds ISV++ generation: hardening with the scan results
+// removes every finding from the view.
+func TestScanFeedsHardening(t *testing.T) {
+	g := callgraph.New(img)
+	profile := isvgen.Profile{Name: "app", Syscalls: []int{kimage.NRRead, kimage.NRIoctl, kimage.NRPtrace}}
+	st := isvgen.Static(img, g, profile)
+	rep := Scan(img, st.Funcs, 1)
+	hardened := isvgen.Harden(img, st, rep.GadgetFuncIDs())
+	rep2 := Scan(img, hardened.Funcs, 1)
+	if len(rep2.Findings) != 0 {
+		t.Errorf("hardened view still has %d findings", len(rep2.Findings))
+	}
+}

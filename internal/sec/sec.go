@@ -1,0 +1,20 @@
+// Package sec defines the security-context identifier shared by the whole
+// stack. A context corresponds to the paper's "execution context" — a
+// process or a container (cgroup) — and doubles as the ASID that tags the
+// DSV and ISV hardware caches (§6.2).
+package sec
+
+// Ctx identifies an execution context (cgroup / ASID).
+type Ctx uint32
+
+// Reserved contexts.
+const (
+	// CtxNone marks memory owned by no context; Perspective conservatively
+	// blocks speculation on it ("unknown allocations", §6.1).
+	CtxNone Ctx = 0
+	// CtxKernel owns kernel-global data (boot-time allocations, per-cpu
+	// areas, replicated global tables).
+	CtxKernel Ctx = 1
+	// CtxFirstUser is the first context id handed to user containers.
+	CtxFirstUser Ctx = 2
+)

@@ -1,0 +1,304 @@
+// Package slab implements the kmalloc()-style object allocator in two
+// flavours:
+//
+//   - The *baseline* allocator packs objects from all execution contexts
+//     into shared slab pages — Linux's behaviour, where "data belonging to
+//     mutually distrusting processes may get allocated even within the same
+//     cache line" (§5.2). Ownership then cannot be expressed at page
+//     granularity, which is exactly the challenge the paper identifies.
+//
+//   - Perspective's *secure slab allocator* (§6.1) keeps separate page lists
+//     per (size class, context), eliminating collocation so every slab page
+//     has a single owner the DSV machinery can track.
+//
+// The allocator also produces the §9.2 sensitivity statistics: slabtop-style
+// memory utilization (fragmentation cost of the secure mode) and
+// domain-reassignment counts (slab pages returned to the buddy allocator).
+package slab
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/buddy"
+	"repro/internal/memsim"
+	"repro/internal/sec"
+)
+
+// Classes are the supported object sizes, mirroring Linux kmalloc caches
+// down to the 8-byte minimum the paper calls out (§5.2).
+var Classes = []int{8, 16, 32, 64, 96, 128, 192, 256, 512, 1024, 2048, 4096}
+
+// classFor returns the smallest class index that fits size, or -1.
+func classFor(size int) int {
+	for i, c := range Classes {
+		if size <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// sharedCtx keys the baseline allocator's single shared page pool.
+const sharedCtx = sec.Ctx(0)
+
+type page struct {
+	pfn   uint64
+	class int
+	ctx   sec.Ctx // pool owner (sharedCtx in baseline mode)
+	free  []int   // free slot indices
+	used  int
+}
+
+type objRec struct {
+	pg  *page
+	ctx sec.Ctx // requesting context (meaningful even in baseline mode)
+}
+
+type poolKey struct {
+	class int
+	ctx   sec.Ctx
+}
+
+// Stats counts allocator activity, including the §9.2 domain-reassignment
+// metrics.
+type Stats struct {
+	Allocs uint64
+	Frees  uint64
+	// PagesAllocated counts slab pages obtained from the buddy allocator.
+	PagesAllocated uint64
+	// PageReturns counts slab pages handed back to the buddy allocator —
+	// each one is a domain reassignment in secure mode.
+	PageReturns uint64
+}
+
+// Allocator is the kmalloc/kfree implementation.
+type Allocator struct {
+	buddy  *buddy.Allocator
+	secure bool
+
+	partial map[poolKey][]*page
+	// emptyCache holds at most one fully free page per pool, mirroring the
+	// slab allocator's reluctance to return pages immediately; this keeps
+	// the domain-reassignment rate low (§9.2).
+	emptyCache map[poolKey]*page
+	byPFN      map[uint64]*page
+	objects    map[uint64]objRec
+	stats      Stats
+
+	// OnPageAlloc and OnPageReturn, when set, observe slab page movement;
+	// the kernel wires them to DSV assign/revoke.
+	OnPageAlloc  func(pfn uint64, ctx sec.Ctx)
+	OnPageReturn func(pfn uint64, ctx sec.Ctx)
+}
+
+// New creates a slab allocator over the buddy allocator. secure selects
+// Perspective's per-context isolation.
+func New(b *buddy.Allocator, secure bool) *Allocator {
+	return &Allocator{
+		buddy:      b,
+		secure:     secure,
+		partial:    make(map[poolKey][]*page),
+		emptyCache: make(map[poolKey]*page),
+		byPFN:      make(map[uint64]*page),
+		objects:    make(map[uint64]objRec),
+	}
+}
+
+// Secure reports whether this is the secure (per-context) variant.
+func (a *Allocator) Secure() bool { return a.secure }
+
+// Stats returns a copy of the counters.
+func (a *Allocator) Stats() Stats { return a.stats }
+
+func (a *Allocator) key(class int, ctx sec.Ctx) poolKey {
+	if !a.secure {
+		return poolKey{class: class, ctx: sharedCtx}
+	}
+	return poolKey{class: class, ctx: ctx}
+}
+
+// Kmalloc allocates size bytes on behalf of ctx, returning the physical
+// address. In secure mode the backing page is owned exclusively by ctx.
+func (a *Allocator) Kmalloc(size int, ctx sec.Ctx) (pa uint64, err error) {
+	class := classFor(size)
+	if class < 0 {
+		return 0, fmt.Errorf("slab: size %d exceeds max class %d", size, Classes[len(Classes)-1])
+	}
+	k := a.key(class, ctx)
+	var pg *page
+	if lst := a.partial[k]; len(lst) > 0 {
+		pg = lst[len(lst)-1]
+	} else if cached := a.emptyCache[k]; cached != nil {
+		pg = cached
+		delete(a.emptyCache, k)
+		a.partial[k] = append(a.partial[k], pg)
+	} else {
+		pfn, ok := a.buddy.AllocPages(0, k.ctxForBuddy(ctx))
+		if !ok {
+			return 0, fmt.Errorf("slab: out of memory")
+		}
+		a.stats.PagesAllocated++
+		n := memsim.PageSize / Classes[class]
+		pg = &page{pfn: pfn, class: class, ctx: k.ctx, free: make([]int, 0, n)}
+		for i := n - 1; i >= 0; i-- {
+			pg.free = append(pg.free, i)
+		}
+		a.byPFN[pfn] = pg
+		a.partial[k] = append(a.partial[k], pg)
+		if a.OnPageAlloc != nil {
+			a.OnPageAlloc(pfn, k.ctxForBuddy(ctx))
+		}
+	}
+	slot := pg.free[len(pg.free)-1]
+	pg.free = pg.free[:len(pg.free)-1]
+	pg.used++
+	if len(pg.free) == 0 {
+		a.removePartial(k, pg)
+	}
+	pa = pg.pfn*memsim.PageSize + uint64(slot*Classes[class])
+	a.objects[pa] = objRec{pg: pg, ctx: ctx}
+	a.stats.Allocs++
+	return pa, nil
+}
+
+// ctxForBuddy resolves which context owns the backing page: the requester in
+// secure mode, the kernel-shared context in baseline mode.
+func (k poolKey) ctxForBuddy(req sec.Ctx) sec.Ctx {
+	if k.ctx == sharedCtx {
+		return sec.CtxKernel
+	}
+	return req
+}
+
+func (a *Allocator) removePartial(k poolKey, pg *page) {
+	lst := a.partial[k]
+	for i, p := range lst {
+		if p == pg {
+			lst[i] = lst[len(lst)-1]
+			a.partial[k] = lst[:len(lst)-1]
+			return
+		}
+	}
+}
+
+// Kfree releases the object at pa. When a page empties beyond the per-pool
+// cache, it returns to the buddy allocator — a domain reassignment event.
+func (a *Allocator) Kfree(pa uint64) error {
+	rec, ok := a.objects[pa]
+	if !ok {
+		return fmt.Errorf("slab: free of unallocated object %#x", pa)
+	}
+	delete(a.objects, pa)
+	pg := rec.pg
+	slot := int((pa - pg.pfn*memsim.PageSize) / uint64(Classes[pg.class]))
+	k := a.key(pg.class, rec.ctx)
+	if len(pg.free) == 0 {
+		// Was full; it becomes partial again.
+		a.partial[k] = append(a.partial[k], pg)
+	}
+	pg.free = append(pg.free, slot)
+	pg.used--
+	a.stats.Frees++
+	if pg.used == 0 {
+		a.removePartial(k, pg)
+		if a.emptyCache[k] == nil {
+			a.emptyCache[k] = pg
+		} else {
+			// Second empty page in this pool: return it to the buddy.
+			delete(a.byPFN, pg.pfn)
+			owner := k.ctxForBuddy(rec.ctx)
+			if _, _, err := a.buddy.Free(pg.pfn); err != nil {
+				return err
+			}
+			a.stats.PageReturns++
+			if a.OnPageReturn != nil {
+				a.OnPageReturn(pg.pfn, owner)
+			}
+		}
+	}
+	return nil
+}
+
+// OwnerOf reports the requesting context and class size of a live object.
+func (a *Allocator) OwnerOf(pa uint64) (ctx sec.Ctx, size int, ok bool) {
+	rec, ok := a.objects[pa]
+	if !ok {
+		return 0, 0, false
+	}
+	return rec.ctx, Classes[rec.pg.class], true
+}
+
+// PageOwner reports the context owning the slab page containing pa (the
+// granularity the DSV machinery protects at). In baseline mode this is the
+// shared kernel context regardless of who requested the objects — the
+// isolation failure the secure allocator fixes.
+func (a *Allocator) PageOwner(pfn uint64) (sec.Ctx, bool) {
+	pg, ok := a.byPFN[pfn]
+	if !ok {
+		return 0, false
+	}
+	if pg.ctx == sharedCtx {
+		return sec.CtxKernel, true
+	}
+	return pg.ctx, true
+}
+
+// Collocated reports whether two live objects share a slab page.
+func (a *Allocator) Collocated(paA, paB uint64) bool {
+	ra, okA := a.objects[paA]
+	rb, okB := a.objects[paB]
+	return okA && okB && ra.pg == rb.pg
+}
+
+// Utilization is the slabtop metric of §9.2: bytes in live objects divided
+// by bytes in slab-held pages. The secure allocator's per-context pages cost
+// some utilization — the paper measures the loss at 0.91%.
+func (a *Allocator) Utilization() float64 {
+	var active, total uint64
+	for _, rec := range a.objects {
+		active += uint64(Classes[rec.pg.class])
+	}
+	total = uint64(len(a.byPFN)) * memsim.PageSize
+	if total == 0 {
+		return 1
+	}
+	return float64(active) / float64(total)
+}
+
+// FootprintPages reports pages currently held by the slab layer.
+func (a *Allocator) FootprintPages() int { return len(a.byPFN) }
+
+// PoolSummary describes one (class, ctx) pool for the slabtop-style report.
+type PoolSummary struct {
+	ClassSize int
+	Ctx       sec.Ctx
+	Pages     int
+	Live      int
+}
+
+// Pools returns a deterministic summary of all pools.
+func (a *Allocator) Pools() []PoolSummary {
+	byKey := make(map[poolKey]*PoolSummary)
+	for _, pg := range a.byPFN {
+		k := poolKey{class: pg.class, ctx: pg.ctx}
+		s := byKey[k]
+		if s == nil {
+			s = &PoolSummary{ClassSize: Classes[pg.class], Ctx: pg.ctx}
+			byKey[k] = s
+		}
+		s.Pages++
+		s.Live += pg.used
+	}
+	out := make([]PoolSummary, 0, len(byKey))
+	for _, s := range byKey {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ClassSize != out[j].ClassSize {
+			return out[i].ClassSize < out[j].ClassSize
+		}
+		return out[i].Ctx < out[j].Ctx
+	})
+	return out
+}

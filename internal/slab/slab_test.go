@@ -1,0 +1,246 @@
+package slab
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/buddy"
+	"repro/internal/memsim"
+	"repro/internal/sec"
+)
+
+func newPair(secure bool) (*buddy.Allocator, *Allocator) {
+	b := buddy.New(1024)
+	return b, New(b, secure)
+}
+
+func TestKmallocKfree(t *testing.T) {
+	_, a := newPair(true)
+	pa, err := a.Kmalloc(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, size, ok := a.OwnerOf(pa)
+	if !ok || ctx != 2 || size != 128 {
+		t.Errorf("owner=%d size=%d ok=%v", ctx, size, ok)
+	}
+	if err := a.Kfree(pa); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := a.OwnerOf(pa); ok {
+		t.Error("freed object still owned")
+	}
+	if err := a.Kfree(pa); err == nil {
+		t.Error("double free accepted")
+	}
+}
+
+func TestSizeClassRounding(t *testing.T) {
+	_, a := newPair(true)
+	for _, tc := range []struct{ req, class int }{
+		{1, 8}, {8, 8}, {9, 16}, {65, 96}, {97, 128}, {4096, 4096},
+	} {
+		pa, err := a.Kmalloc(tc.req, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, size, _ := a.OwnerOf(pa); size != tc.class {
+			t.Errorf("req %d -> class %d, want %d", tc.req, size, tc.class)
+		}
+	}
+	if _, err := a.Kmalloc(8193, 2); err == nil {
+		t.Error("oversized kmalloc accepted")
+	}
+}
+
+func TestObjectsDistinct(t *testing.T) {
+	_, a := newPair(true)
+	seen := map[uint64]bool{}
+	for i := 0; i < 2000; i++ {
+		pa, err := a.Kmalloc(8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[pa] {
+			t.Fatalf("address %#x handed out twice", pa)
+		}
+		seen[pa] = true
+	}
+}
+
+// The baseline allocator packs mutually distrusting contexts into one slab
+// page (§5.2's security problem); the secure allocator never does (§6.1).
+func TestBaselineCollocatesSecureDoesNot(t *testing.T) {
+	_, base := newPair(false)
+	paA, _ := base.Kmalloc(8, 2)
+	paB, _ := base.Kmalloc(8, 3)
+	if !base.Collocated(paA, paB) {
+		t.Error("baseline allocator did not pack two contexts into one page")
+	}
+	// Two 8-byte objects in one 64-byte line: the paper's worst case.
+	if paA/64 != paB/64 {
+		t.Log("objects not in the same cache line (layout-dependent); page sharing already proves the point")
+	}
+
+	_, sec2 := newPair(true)
+	paC, _ := sec2.Kmalloc(8, 2)
+	paD, _ := sec2.Kmalloc(8, 3)
+	if sec2.Collocated(paC, paD) {
+		t.Error("secure allocator collocated two contexts")
+	}
+	if paC/memsim.PageSize == paD/memsim.PageSize {
+		t.Error("secure allocator put two contexts in one page")
+	}
+}
+
+// Every slab page in secure mode has exactly one owning context across its
+// whole lifetime of allocations.
+func TestSecurePageOwnershipInvariant(t *testing.T) {
+	_, a := newPair(true)
+	rng := rand.New(rand.NewSource(7))
+	pageCtx := map[uint64]sec.Ctx{} // pfn -> first observed ctx
+	var live []uint64
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(3) > 0 || len(live) == 0 {
+			ctx := sec.Ctx(rng.Intn(4) + 2)
+			pa, err := a.Kmalloc(Classes[rng.Intn(4)], ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pfn := pa / memsim.PageSize
+			if prev, ok := pageCtx[pfn]; ok {
+				if owner, _ := a.PageOwner(pfn); owner != prev && prev != 0 {
+					// Page may have been returned and reassigned; verify via
+					// the allocator's own record instead.
+					_ = owner
+				}
+			}
+			owner, ok := a.PageOwner(pfn)
+			if !ok || owner != ctx {
+				t.Fatalf("page %d owner %d, allocated for %d", pfn, owner, ctx)
+			}
+			pageCtx[pfn] = ctx
+			live = append(live, pa)
+		} else {
+			i := rng.Intn(len(live))
+			if err := a.Kfree(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+}
+
+// Page returns (domain reassignments) happen only after a pool's empty-page
+// cache is occupied, keeping the rate low as §9.2 reports.
+func TestDomainReassignment(t *testing.T) {
+	b, a := newPair(true)
+	// Fill two pages of 4096-byte objects (1 object/page), then free both.
+	pa1, _ := a.Kmalloc(4096, 2)
+	pa2, _ := a.Kmalloc(4096, 2)
+	free0 := b.FreePages()
+	a.Kfree(pa1) // page cached, not returned
+	if a.Stats().PageReturns != 0 {
+		t.Error("first empty page returned immediately")
+	}
+	a.Kfree(pa2) // cache occupied: this page returns
+	if a.Stats().PageReturns != 1 {
+		t.Errorf("page returns = %d, want 1", a.Stats().PageReturns)
+	}
+	if b.FreePages() != free0+1 {
+		t.Errorf("buddy free pages = %d, want %d", b.FreePages(), free0+1)
+	}
+}
+
+func TestEmptyPageCacheReused(t *testing.T) {
+	_, a := newPair(true)
+	pa1, _ := a.Kmalloc(4096, 2)
+	pfn := pa1 / memsim.PageSize
+	a.Kfree(pa1)
+	pa2, _ := a.Kmalloc(4096, 2)
+	if pa2/memsim.PageSize != pfn {
+		t.Error("cached empty page not reused")
+	}
+}
+
+func TestPageCallbacks(t *testing.T) {
+	_, a := newPair(true)
+	var allocs, returns []uint64
+	a.OnPageAlloc = func(pfn uint64, ctx sec.Ctx) { allocs = append(allocs, pfn) }
+	a.OnPageReturn = func(pfn uint64, ctx sec.Ctx) { returns = append(returns, pfn) }
+	pa1, _ := a.Kmalloc(4096, 2)
+	pa2, _ := a.Kmalloc(4096, 2)
+	a.Kfree(pa1)
+	a.Kfree(pa2)
+	if len(allocs) != 2 {
+		t.Errorf("alloc callbacks = %d", len(allocs))
+	}
+	if len(returns) != 1 {
+		t.Errorf("return callbacks = %d", len(returns))
+	}
+}
+
+// The secure allocator fragments more than the baseline for mixed-context
+// small allocations, but utilization stays high (paper: 0.91% overhead).
+func TestUtilization(t *testing.T) {
+	_, base := newPair(false)
+	_, secure := newPair(true)
+	for i := 0; i < 400; i++ {
+		ctx := sec.Ctx(i%8 + 2)
+		base.Kmalloc(64, ctx)
+		secure.Kmalloc(64, ctx)
+	}
+	ub, us := base.Utilization(), secure.Utilization()
+	if ub < us {
+		t.Errorf("baseline utilization %.3f < secure %.3f", ub, us)
+	}
+	if us < 0.5 {
+		t.Errorf("secure utilization %.3f unreasonably low", us)
+	}
+}
+
+func TestPoolsSummary(t *testing.T) {
+	_, a := newPair(true)
+	a.Kmalloc(64, 2)
+	a.Kmalloc(64, 3)
+	a.Kmalloc(128, 2)
+	pools := a.Pools()
+	if len(pools) != 3 {
+		t.Fatalf("pools = %d, want 3", len(pools))
+	}
+	if pools[0].ClassSize != 64 || pools[2].ClassSize != 128 {
+		t.Errorf("pool order wrong: %+v", pools)
+	}
+}
+
+func TestFullPageLeavesPartialList(t *testing.T) {
+	_, a := newPair(true)
+	// 4096/2048 = 2 objects per page; third alloc needs a second page.
+	pa1, _ := a.Kmalloc(2048, 2)
+	pa2, _ := a.Kmalloc(2048, 2)
+	pa3, _ := a.Kmalloc(2048, 2)
+	if pa1/memsim.PageSize != pa2/memsim.PageSize {
+		t.Error("first two objects not packed in one page")
+	}
+	if pa3/memsim.PageSize == pa1/memsim.PageSize {
+		t.Error("third object squeezed into a full page")
+	}
+	// Freeing one slot makes the full page allocatable again.
+	a.Kfree(pa1)
+	pa4, _ := a.Kmalloc(2048, 2)
+	if pa4 != pa1 {
+		t.Errorf("freed slot not reused: %#x vs %#x", pa4, pa1)
+	}
+}
+
+func TestOOMPropagates(t *testing.T) {
+	b := buddy.New(1)
+	a := New(b, true)
+	if _, err := a.Kmalloc(4096, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Kmalloc(4096, 3); err == nil {
+		t.Error("no error when buddy is exhausted")
+	}
+}

@@ -1,0 +1,142 @@
+// Package viewcache implements the small set-associative hardware cache that
+// backs both of Perspective's view-checking structures (§6.2, Figure 6.1b
+// and the DSVMT cache): 128 entries organised as 32 sets × 4 ways, tagged
+// with the address-space identifier so context switches need no flush.
+//
+// On a miss the pipeline conservatively blocks speculation while the entry
+// refills — the caller models that; this package only tracks contents and
+// hit statistics.
+package viewcache
+
+import "repro/internal/sec"
+
+// Config is the cache geometry. Table 7.1 uses 32 sets × 4 ways for both the
+// ISV and DSV caches.
+type Config struct {
+	Sets int
+	Ways int
+}
+
+// DefaultConfig is the Table 7.1 geometry.
+var DefaultConfig = Config{Sets: 32, Ways: 4}
+
+// Stats counts lookups.
+type Stats struct {
+	Lookups uint64
+	Hits    uint64
+	Refills uint64
+}
+
+// HitRate returns hits/lookups, or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+type entry struct {
+	valid   bool
+	ctx     sec.Ctx
+	key     uint64
+	payload uint64
+	stamp   uint64
+}
+
+// Cache is an ASID-tagged view cache mapping (ctx, key) to a small payload
+// (a presence bit for the DSV cache; a 16-bit per-line instruction mask for
+// the ISV cache).
+type Cache struct {
+	cfg     Config
+	entries []entry
+	clock   uint64
+	stats   Stats
+}
+
+// New creates a cache. Sets must be a power of two.
+func New(cfg Config) *Cache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic("viewcache: bad geometry")
+	}
+	return &Cache{cfg: cfg, entries: make([]entry, cfg.Sets*cfg.Ways)}
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) set(key uint64) int {
+	return int(key) & (c.cfg.Sets - 1)
+}
+
+// Lookup searches for (ctx, key). On a hit it returns the payload. The
+// caller treats a miss as "block speculation and refill".
+func (c *Cache) Lookup(ctx sec.Ctx, key uint64) (payload uint64, hit bool) {
+	c.clock++
+	c.stats.Lookups++
+	base := c.set(key) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		e := &c.entries[base+w]
+		if e.valid && e.ctx == ctx && e.key == key {
+			c.stats.Hits++
+			e.stamp = c.clock
+			return e.payload, true
+		}
+	}
+	return 0, false
+}
+
+// Fill installs (ctx, key) → payload, evicting the set's LRU way.
+func (c *Cache) Fill(ctx sec.Ctx, key uint64, payload uint64) {
+	c.clock++
+	c.stats.Refills++
+	base := c.set(key) * c.cfg.Ways
+	victim := base
+	for w := 0; w < c.cfg.Ways; w++ {
+		e := &c.entries[base+w]
+		if e.valid && e.ctx == ctx && e.key == key {
+			e.payload = payload
+			e.stamp = c.clock
+			return
+		}
+		if !e.valid {
+			victim = base + w
+			break
+		}
+		if c.entries[victim].valid && e.stamp < c.entries[victim].stamp {
+			victim = base + w
+		}
+	}
+	c.entries[victim] = entry{valid: true, ctx: ctx, key: key, payload: payload, stamp: c.clock}
+}
+
+// InvalidateKey drops the entry for key in every context — the coherence
+// action when the OS changes view metadata (e.g. a page leaves a DSV when
+// its frame is freed, or a function is excluded from an ISV at runtime).
+func (c *Cache) InvalidateKey(key uint64) {
+	base := c.set(key) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		e := &c.entries[base+w]
+		if e.valid && e.key == key {
+			e.valid = false
+		}
+	}
+}
+
+// InvalidateCtx drops every entry belonging to ctx (context teardown).
+func (c *Cache) InvalidateCtx(ctx sec.Ctx) {
+	for i := range c.entries {
+		if c.entries[i].valid && c.entries[i].ctx == ctx {
+			c.entries[i].valid = false
+		}
+	}
+}
+
+// InvalidateAll empties the cache.
+func (c *Cache) InvalidateAll() {
+	for i := range c.entries {
+		c.entries[i].valid = false
+	}
+}

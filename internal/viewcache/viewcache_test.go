@@ -1,0 +1,176 @@
+package viewcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sec"
+)
+
+func tiny() *Cache { return New(Config{Sets: 2, Ways: 2}) }
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := tiny()
+	if _, hit := c.Lookup(3, 100); hit {
+		t.Error("cold lookup hit")
+	}
+	c.Fill(3, 100, 1)
+	p, hit := c.Lookup(3, 100)
+	if !hit || p != 1 {
+		t.Errorf("Lookup = %d, %v", p, hit)
+	}
+}
+
+// ASID tagging: contexts do not see each other's entries, so no flush is
+// needed on context switch — and no cross-context leakage through the view
+// cache itself.
+func TestASIDTagging(t *testing.T) {
+	c := tiny()
+	c.Fill(3, 100, 1)
+	if _, hit := c.Lookup(4, 100); hit {
+		t.Error("context 4 hit context 3's entry")
+	}
+	c.Fill(4, 100, 0)
+	p3, _ := c.Lookup(3, 100)
+	p4, _ := c.Lookup(4, 100)
+	if p3 != 1 || p4 != 0 {
+		t.Errorf("payloads = %d, %d", p3, p4)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := tiny() // 2 sets × 2 ways; even keys map to set 0
+	c.Fill(1, 0, 10)
+	c.Fill(1, 2, 20)
+	c.Lookup(1, 0) // refresh key 0
+	c.Fill(1, 4, 30)
+	if _, hit := c.Lookup(1, 0); !hit {
+		t.Error("MRU key evicted")
+	}
+	if _, hit := c.Lookup(1, 2); hit {
+		t.Error("LRU key survived")
+	}
+}
+
+func TestFillUpdatesInPlace(t *testing.T) {
+	c := tiny()
+	c.Fill(1, 8, 5)
+	c.Fill(1, 8, 7)
+	p, hit := c.Lookup(1, 8)
+	if !hit || p != 7 {
+		t.Errorf("payload = %d, %v", p, hit)
+	}
+	// In-place update must not consume a second way.
+	c.Fill(1, 10, 1)
+	if _, hit := c.Lookup(1, 8); !hit {
+		t.Error("key 8 evicted after only two distinct fills")
+	}
+}
+
+func TestInvalidateKeyAllContexts(t *testing.T) {
+	c := tiny()
+	c.Fill(1, 6, 1)
+	c.Fill(2, 6, 1)
+	c.InvalidateKey(6)
+	if _, hit := c.Lookup(1, 6); hit {
+		t.Error("ctx1 entry survived InvalidateKey")
+	}
+	if _, hit := c.Lookup(2, 6); hit {
+		t.Error("ctx2 entry survived InvalidateKey")
+	}
+}
+
+func TestInvalidateCtx(t *testing.T) {
+	c := tiny()
+	c.Fill(1, 6, 1)
+	c.Fill(2, 7, 1)
+	c.InvalidateCtx(1)
+	if _, hit := c.Lookup(1, 6); hit {
+		t.Error("ctx1 entry survived InvalidateCtx")
+	}
+	if _, hit := c.Lookup(2, 7); !hit {
+		t.Error("ctx2 entry dropped by InvalidateCtx(1)")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := tiny()
+	c.Fill(1, 1, 1)
+	c.Fill(1, 2, 1)
+	c.InvalidateAll()
+	if _, hit := c.Lookup(1, 1); hit {
+		t.Error("entry survived InvalidateAll")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := tiny()
+	c.Lookup(1, 5)
+	c.Fill(1, 5, 1)
+	c.Lookup(1, 5)
+	s := c.Stats()
+	if s.Lookups != 2 || s.Hits != 1 || s.Refills != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Errorf("hit rate = %f", s.HitRate())
+	}
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestDefaultConfigIs128Entries(t *testing.T) {
+	if DefaultConfig.Sets*DefaultConfig.Ways != 128 {
+		t.Errorf("default = %d entries, want 128 (Table 7.1)", DefaultConfig.Sets*DefaultConfig.Ways)
+	}
+}
+
+func TestCapacityWorksUnderChurn(t *testing.T) {
+	c := New(DefaultConfig)
+	for k := uint64(0); k < 10000; k++ {
+		c.Fill(sec.Ctx(k%3), k, k)
+		if p, hit := c.Lookup(sec.Ctx(k%3), k); !hit || p != k {
+			t.Fatalf("immediate lookup of %d failed", k)
+		}
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New(Config{Sets: 3, Ways: 1})
+}
+
+// Property: after any interleaving of fills and invalidations, a Lookup hit
+// always returns the most recently filled payload for that (ctx, key).
+func TestFillLookupConsistencyProperty(t *testing.T) {
+	c := New(Config{Sets: 4, Ways: 2})
+	truth := map[[2]uint64]uint64{}
+	ops := 0
+	f := func(ctx uint8, key uint8, payload uint64, inval bool) bool {
+		ops++
+		k := [2]uint64{uint64(ctx), uint64(key)}
+		if inval {
+			c.InvalidateKey(uint64(key))
+			for t2 := range truth {
+				if t2[1] == uint64(key) {
+					delete(truth, t2)
+				}
+			}
+			return true
+		}
+		c.Fill(sec.Ctx(ctx), uint64(key), payload)
+		truth[k] = payload
+		got, hit := c.Lookup(sec.Ctx(ctx), uint64(key))
+		// The just-filled entry must be present and correct.
+		return hit && got == truth[k]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

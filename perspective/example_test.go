@@ -1,0 +1,53 @@
+package perspective_test
+
+import (
+	"fmt"
+
+	"repro/perspective"
+)
+
+// The basic lifecycle: boot, launch, profile, protect.
+func Example() {
+	m, err := perspective.NewMachine(perspective.Defaults())
+	if err != nil {
+		panic(err)
+	}
+	app, err := m.Launch("web")
+	if err != nil {
+		panic(err)
+	}
+
+	// Profile the application into a dynamic ISV (§5.3).
+	stop := m.TraceISV(app)
+	m.Syscall(app, perspective.SysGetpid)
+	view := stop()
+
+	// Install the view and enable the Perspective policy.
+	m.InstallISV(app, view)
+	m.Protect(perspective.SchemePerspective)
+
+	pid, err := m.Syscall(app, perspective.SysGetpid)
+	fmt.Println(err == nil, pid == uint64(app.PID()), view.NumFuncs() > 0)
+	// Output: true true true
+}
+
+// Live gadget patching (§5.4): excluding a function from an installed view
+// takes effect immediately, with no reboot.
+func ExampleMachine_ExcludeFunction() {
+	m, _ := perspective.NewMachine(perspective.Defaults())
+	app, _ := m.Launch("svc")
+	m.InstallISV(app, m.FullISV())
+	m.Protect(perspective.SchemePerspective)
+
+	patched, err := m.ExcludeFunction(app, "type_confuse_gadget")
+	fmt.Println(patched, err)
+	// Output: true <nil>
+}
+
+// Static ISV generation from a syscall profile (§5.3).
+func ExampleMachine_StaticISV() {
+	m, _ := perspective.NewMachine(perspective.Defaults())
+	view := m.StaticISV("tiny-tool", []int{perspective.SysGetpid, perspective.SysOpen})
+	fmt.Println(view.NumFuncs() > 0, m.SurfaceReduction(view) > 90)
+	// Output: true true
+}

@@ -1,0 +1,255 @@
+// Package perspective is the public API of the Perspective reproduction: a
+// principled framework for pliable and secure speculation in operating
+// systems (Kim, Rudo, Zhao, Zhao, Skarlatos — ISCA 2024), rebuilt from
+// scratch as a pure-Go simulation stack.
+//
+// A Machine bundles a simulated out-of-order CPU (with real transient
+// execution and cache side effects), a functional OS kernel (processes,
+// virtual memory, allocators with DSV ownership tracking, loopback sockets),
+// and Perspective's two speculation-view mechanisms:
+//
+//   - Data Speculation Views (DSVs) record which execution context owns
+//     every kernel page; speculative accesses outside the current context's
+//     view are blocked, eliminating active transient-execution attacks.
+//   - Instruction Speculation Views (ISVs) record which kernel code a
+//     context trusts; speculative transmitters outside the view are
+//     blocked, defeating passive (control-flow-hijack) attacks — and the
+//     view can be *shrunk at runtime* to patch newly found gadgets without
+//     a reboot.
+//
+// Quick start:
+//
+//	m, _ := perspective.NewMachine(perspective.Defaults())
+//	app, _ := m.Launch("web")                      // container + process
+//	m.Protect(perspective.SchemePerspective)       // enable DSV+ISV policy
+//	view, _ := m.DynamicISV(app)                   // profile-derived view
+//	m.InstallISV(app, view)
+//	cycles, _ := m.Syscall(app, perspective.SysGetpid)
+package perspective
+
+import (
+	"fmt"
+
+	"repro/internal/callgraph"
+	"repro/internal/isvgen"
+	"repro/internal/kernel"
+	"repro/internal/kimage"
+	"repro/internal/ktrace"
+	"repro/internal/schemes"
+	"repro/internal/sec"
+)
+
+// Scheme selects the speculation-control policy of the simulated hardware.
+type Scheme = schemes.Kind
+
+// Re-exported schemes (§7).
+const (
+	SchemeUnsafe            = schemes.Unsafe
+	SchemeFence             = schemes.Fence
+	SchemeDOM               = schemes.DOM
+	SchemeSTT               = schemes.STT
+	SchemeSpot              = schemes.Spot
+	SchemePerspectiveStatic = schemes.PerspectiveStatic
+	SchemePerspective       = schemes.Perspective
+	SchemePerspectivePlus   = schemes.PerspectivePlus
+)
+
+// Common syscall numbers, re-exported for examples and tools.
+const (
+	SysRead   = kimage.NRRead
+	SysWrite  = kimage.NRWrite
+	SysOpen   = kimage.NROpen
+	SysClose  = kimage.NRClose
+	SysMmap   = kimage.NRMmap
+	SysMunmap = kimage.NRMunmap
+	SysPoll   = kimage.NRPoll
+	SysGetpid = kimage.NRGetpid
+	SysFork   = kimage.NRFork
+	SysIoctl  = kimage.NRIoctl
+	SysSocket = kimage.NRSocket
+	SysSend   = kimage.NRSend
+	SysRecv   = kimage.NRRecv
+)
+
+// Config sizes the machine.
+type Config struct {
+	// KernelScale selects the synthetic kernel image: "full" approximates
+	// Linux v5.4 (~28K functions); "small" builds a fast ~2.5K-function
+	// image for tests and demos.
+	KernelScale string
+	// MemoryFrames is the simulated physical memory size in 4KB pages.
+	MemoryFrames int
+	// SecureSlab enables Perspective's per-context slab allocator.
+	SecureSlab bool
+}
+
+// Defaults returns the small fast configuration.
+func Defaults() Config {
+	return Config{KernelScale: "small", MemoryFrames: 8192, SecureSlab: true}
+}
+
+// FullScale returns the paper-scale configuration.
+func FullScale() Config {
+	return Config{KernelScale: "full", MemoryFrames: 16384, SecureSlab: true}
+}
+
+// Process is a handle to a simulated process.
+type Process struct {
+	task *kernel.Task
+	name string
+}
+
+// PID returns the process id.
+func (p *Process) PID() int { return p.task.PID }
+
+// Context returns the security-context (cgroup/ASID) identifier.
+func (p *Process) Context() uint32 { return uint32(p.task.Ctx()) }
+
+// View is an instruction speculation view handle.
+type View struct {
+	res *isvgen.Result
+}
+
+// NumFuncs reports how many kernel functions the view trusts.
+func (v *View) NumFuncs() int { return v.res.NumFuncs() }
+
+// Machine is a booted simulation.
+type Machine struct {
+	k     *kernel.Kernel
+	img   *kimage.Image
+	graph *callgraph.Graph
+}
+
+// NewMachine boots a machine under the UNSAFE scheme.
+func NewMachine(cfg Config) (*Machine, error) {
+	spec := kimage.TestSpec()
+	if cfg.KernelScale == "full" {
+		spec = kimage.FullSpec()
+	} else if cfg.KernelScale != "" && cfg.KernelScale != "small" {
+		return nil, fmt.Errorf("perspective: unknown kernel scale %q", cfg.KernelScale)
+	}
+	img := kimage.MustBuild(spec)
+	kcfg := kernel.DefaultConfig()
+	if cfg.MemoryFrames > 0 {
+		kcfg.Frames = cfg.MemoryFrames
+	}
+	kcfg.SecureSlab = cfg.SecureSlab
+	k, err := kernel.New(kcfg, img)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{k: k, img: img, graph: callgraph.New(img)}, nil
+}
+
+// Kernel exposes the underlying kernel for advanced scenarios (attack PoCs,
+// custom workloads).
+func (m *Machine) Kernel() *kernel.Kernel { return m.k }
+
+// Launch creates a process inside the named container.
+func (m *Machine) Launch(container string) (*Process, error) {
+	t, err := m.k.CreateProcess(container)
+	if err != nil {
+		return nil, err
+	}
+	return &Process{task: t, name: container}, nil
+}
+
+// Protect switches the hardware speculation-control policy.
+func (m *Machine) Protect(s Scheme) {
+	m.k.Core.Policy = schemes.New(s, m.k.DSV, m.k.ISV)
+}
+
+// Syscall performs a system call on behalf of p and returns its result.
+func (m *Machine) Syscall(p *Process, nr int, args ...uint64) (uint64, error) {
+	return m.k.Syscall(p.task, nr, args...)
+}
+
+// Cycles reports the machine's simulated cycle counter.
+func (m *Machine) Cycles() float64 { return m.k.Core.Now() }
+
+// InstallGlobalISV installs the view for every current process and every
+// process created later — the §5.4 administrator use case ("it enables
+// system administrators to install ISVs that could be applied to all or
+// selected applications").
+func (m *Machine) InstallGlobalISV(v *View) {
+	for _, t := range m.k.Tasks() {
+		m.k.ISV.Install(t.Ctx(), v.res.View)
+	}
+	m.k.OnProcessCreate = func(t *kernel.Task) {
+		m.k.ISV.Install(t.Ctx(), v.res.View)
+	}
+}
+
+// ShrinkISV tightens the process's installed view to the functions it
+// actually used since tracing was enabled (§5.4 runtime reconfiguration).
+// The shrunk view is installed and returned.
+func (m *Machine) ShrinkISV(p *Process, current *View) *View {
+	shrunk := isvgen.Shrink(m.img, current.res, m.k.Trace, p.task.Ctx())
+	m.k.ISV.Install(p.task.Ctx(), shrunk.View)
+	return &View{res: shrunk}
+}
+
+// FullISV builds a view trusting every kernel function — useful for
+// isolating DSV effects (active-attack demos) from ISV effects.
+func (m *Machine) FullISV() *View {
+	ids := make([]int, m.img.NumFuncs())
+	for i := range ids {
+		ids[i] = i
+	}
+	return &View{res: isvgen.FromFuncs(m.img, ids)}
+}
+
+// StaticISV builds an ISV from a syscall profile via static call-graph
+// analysis (ISV-S, §5.3).
+func (m *Machine) StaticISV(name string, syscalls []int) *View {
+	return &View{res: isvgen.Static(m.img, m.graph, isvgen.Profile{Name: name, Syscalls: syscalls})}
+}
+
+// TraceISV enables kernel tracing for the process; the returned stop
+// function builds the dynamic ISV from everything traced since (§5.3).
+func (m *Machine) TraceISV(p *Process) (stop func() *View) {
+	ctx := p.task.Ctx()
+	m.k.Trace.Enable(ctx)
+	return func() *View {
+		m.k.Trace.Disable(ctx)
+		return &View{res: isvgen.Dynamic(m.img, m.k.Trace, ctx)}
+	}
+}
+
+// InstallISV binds a view to the process's context (application startup,
+// §5.4).
+func (m *Machine) InstallISV(p *Process, v *View) {
+	m.k.ISV.Install(p.task.Ctx(), v.res.View)
+}
+
+// ExcludeFunction removes a kernel function from the process's installed
+// view at runtime — the live gadget patch of §5.4. It reports whether the
+// function was trusted before.
+func (m *Machine) ExcludeFunction(p *Process, funcName string) (bool, error) {
+	f := m.img.FuncByName(funcName)
+	if f == nil {
+		return false, fmt.Errorf("perspective: no kernel function %q", funcName)
+	}
+	return m.k.ISV.ExcludeFunc(p.task.Ctx(), f.VA, f.NumInsts()), nil
+}
+
+// SurfaceReduction reports the percentage of kernel functions a view blocks
+// from speculative execution (Table 8.1's metric).
+func (m *Machine) SurfaceReduction(v *View) float64 {
+	return isvgen.SurfaceOf(m.img, v.res).ReductionPct()
+}
+
+// OwnsData reports whether the process's DSV contains the kernel virtual
+// address (ownership established by the allocation paths, §5.2).
+func (m *Machine) OwnsData(p *Process, va uint64) bool {
+	return m.k.DSV.Owns(p.task.Ctx(), va)
+}
+
+// Task unwraps the kernel task handle for use with internal packages.
+func (p *Process) Task() *kernel.Task { return p.task }
+
+// ContextOf converts a raw context id (advanced use).
+func ContextOf(id uint32) sec.Ctx { return sec.Ctx(id) }
+
+// Tracer exposes the machine's ftrace-equivalent recorder.
+func (m *Machine) Tracer() *ktrace.Recorder { return m.k.Trace }

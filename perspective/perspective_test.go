@@ -1,0 +1,92 @@
+package perspective
+
+import (
+	"testing"
+)
+
+func TestMachineLifecycle(t *testing.T) {
+	m, err := NewMachine(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Launch("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PID() == 0 || p.Context() == 0 {
+		t.Error("bad process identity")
+	}
+	ret, err := m.Syscall(p, SysGetpid)
+	if err != nil || ret != uint64(p.PID()) {
+		t.Errorf("getpid = %d, %v", ret, err)
+	}
+	if m.Cycles() <= 0 {
+		t.Error("no cycles")
+	}
+}
+
+func TestBadScale(t *testing.T) {
+	cfg := Defaults()
+	cfg.KernelScale = "huge"
+	if _, err := NewMachine(cfg); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestViewsAndProtection(t *testing.T) {
+	m, err := NewMachine(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Launch("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dynamic ISV from a traced run.
+	stop := m.TraceISV(p)
+	buf, _ := m.Syscall(p, SysMmap, 4096, 1)
+	m.Syscall(p, SysGetpid)
+	fd, _ := m.Syscall(p, SysOpen)
+	m.Syscall(p, SysRead, fd, buf, 64)
+	dyn := stop()
+	if dyn.NumFuncs() == 0 {
+		t.Fatal("empty dynamic view")
+	}
+	static := m.StaticISV("web", []int{SysGetpid, SysOpen, SysRead, SysMmap})
+	if static.NumFuncs() <= dyn.NumFuncs() {
+		t.Errorf("static (%d) not larger than dynamic (%d)", static.NumFuncs(), dyn.NumFuncs())
+	}
+	if m.SurfaceReduction(dyn) < 90 {
+		t.Errorf("dynamic surface reduction %.1f%% < 90%%", m.SurfaceReduction(dyn))
+	}
+
+	m.InstallISV(p, dyn)
+	m.Protect(SchemePerspective)
+	if _, err := m.Syscall(p, SysGetpid); err != nil {
+		t.Fatal(err)
+	}
+	// Live patch: exclude a function, verify the view shrank.
+	ok, err := m.ExcludeFunction(p, "svc_getpid")
+	if err != nil || !ok {
+		t.Errorf("exclude = %v, %v", ok, err)
+	}
+	if _, err := m.ExcludeFunction(p, "no_such_fn"); err == nil {
+		t.Error("ghost function excluded")
+	}
+}
+
+func TestOwnsData(t *testing.T) {
+	m, _ := NewMachine(Defaults())
+	p, _ := m.Launch("web")
+	q, _ := m.Launch("db")
+	va, err := m.Kernel().KernelBuffer(p.Task(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.OwnsData(p, va) {
+		t.Error("owner does not own its buffer")
+	}
+	if m.OwnsData(q, va) {
+		t.Error("foreign process owns the buffer")
+	}
+}
