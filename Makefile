@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet race check bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: vet + race-enabled tests over every package.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+clean:
+	rm -f perspective-sim.state.json
+	$(GO) clean ./...

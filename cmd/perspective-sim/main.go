@@ -3,18 +3,23 @@
 //
 // Usage:
 //
-//	perspective-sim -exp all                 # everything, quick scale
+//	perspective-sim -exp all                 # everything, supervised
 //	perspective-sim -exp fig9.2 -scale full  # one experiment, paper scale
+//	perspective-sim -exp faultsweep -seed 7  # fault-injection campaign
+//	perspective-sim -exp all -resume         # skip checkpointed experiments
 //	perspective-sim -list                    # enumerate experiments
 //
-// Experiments: table4.1 table7.1 table8.1 table8.2 table9.1 table10.1
-// fig9.1 fig9.2 fig9.3 poc sensitivity hw-compare all
+// `-exp all` runs under a supervisor: a panicking or timed-out experiment
+// is retried on a reseeded harness and, failing that, reported without
+// aborting its successors; completed experiments checkpoint to -state so an
+// interrupted run resumes with -resume.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -24,24 +29,21 @@ func main() {
 	scale := flag.String("scale", "quick", "quick (fast, small kernel) or paper (28K-function kernel)")
 	iters := flag.Int("iters", 0, "override LEBench iterations per test")
 	requests := flag.Int("requests", 0, "override datacenter-app request count")
+	seed := flag.Int64("seed", 1, "seed for scanner campaigns and fault injection")
+	timeout := flag.Duration("timeout", time.Duration(0), "per-experiment deadline for supervised runs (0 = none)")
+	retries := flag.Int("retries", 1, "attempts per experiment under -exp all (reseeded each retry)")
+	state := flag.String("state", "perspective-sim.state.json", "checkpoint file for -exp all")
+	resume := flag.Bool("resume", false, "skip experiments already completed in the checkpoint file")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
 	if *list {
-		fmt.Println("table4.1   CVE taxonomy with executable PoC stand-ins")
-		fmt.Println("table7.1   simulation parameters")
-		fmt.Println("table8.1   attack-surface reduction per workload")
-		fmt.Println("table8.2   gadget reduction per ISV variant")
-		fmt.Println("table9.1   DSV/ISV cache area/time/energy (22nm)")
-		fmt.Println("table10.1  fence breakdown (ISV vs DSV)")
-		fmt.Println("fig9.1     Kasper discovery-rate speedup from ISV bounding")
-		fmt.Println("fig9.2     LEBench normalized latency per scheme")
-		fmt.Println("fig9.3     datacenter-app throughput per scheme")
-		fmt.Println("poc        run the attack PoCs under UNSAFE and PERSPECTIVE")
-		fmt.Println("sensitivity §9.2 analyses (hit rates, unknown allocs, slab)")
-		fmt.Println("cache-sweep ISV cache geometry sensitivity (extension)")
-		fmt.Println("hw-compare §9.1 scheme summary")
-		fmt.Println("all        everything above")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Desc)
+		}
+		fmt.Printf("%-12s %s\n", "all", "everything above, supervised")
+		fmt.Println("\ndefaults: -seed 1, -timeout 0 (none), -retries 1,")
+		fmt.Println("          -state perspective-sim.state.json (with -resume to skip finished cells)")
 		return
 	}
 
@@ -57,79 +59,32 @@ func main() {
 	if *requests > 0 {
 		opt.AppRequests = *requests
 	}
-	h := harness.New(opt)
+	opt.Seed = *seed
+	opt.Timeout = *timeout
+
 	w := os.Stdout
+	if *exp == "all" {
+		sup := harness.SupervisorOptions{
+			Retries:   *retries,
+			StateFile: *state,
+			Resume:    *resume,
+		}
+		results, err := harness.Supervise(opt, sup, w)
+		harness.PrintSupervisorReport(w, results)
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	e, ok := harness.FindExperiment(*exp)
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (try -list)", *exp))
+	}
+	h := harness.New(opt)
 	fmt.Fprintf(w, "Perspective reproduction — kernel image: %d functions, %d instructions\n",
 		h.Img.NumFuncs(), h.Img.NumInsts())
-
-	var err error
-	switch *exp {
-	case "all":
-		err = h.RunAll(w)
-	case "table4.1":
-		harness.PrintTable41(w)
-	case "table7.1":
-		harness.PrintTable71(w)
-	case "table9.1":
-		harness.PrintTable91(w)
-	case "table8.1":
-		var rows []harness.SurfaceRow
-		if rows, err = h.Table81(); err == nil {
-			harness.PrintTable81(w, rows, h.Img.NumFuncs())
-		}
-	case "table8.2":
-		var rows []harness.GadgetRow
-		var census int
-		if rows, census, err = h.Table82(); err == nil {
-			harness.PrintTable82(w, rows, census)
-		}
-	case "table10.1":
-		var rows []harness.FenceRow
-		if rows, err = h.Table101(); err == nil {
-			harness.PrintTable101(w, rows)
-		}
-	case "fig9.1":
-		var rows []harness.SpeedupRow
-		if rows, err = h.Fig91(); err == nil {
-			harness.PrintFig91(w, rows)
-		}
-	case "fig9.2":
-		var cells []harness.LEBenchCell
-		if cells, err = h.Fig92(); err == nil {
-			harness.PrintFig92(w, cells, opt.Schemes)
-		}
-	case "fig9.3":
-		var cells []harness.AppCell
-		if cells, err = h.Fig93(); err == nil {
-			harness.PrintFig93(w, cells, opt.Schemes)
-		}
-	case "poc":
-		var rows []harness.PoCRow
-		if rows, err = h.PoCMatrix(); err == nil {
-			harness.PrintPoCMatrix(w, rows)
-		}
-	case "sensitivity":
-		var rows []harness.SensitivityRow
-		if rows, err = h.Sensitivity(); err == nil {
-			harness.PrintSensitivity(w, rows)
-		}
-	case "cache-sweep":
-		var rows []harness.CacheSweepRow
-		if rows, err = h.ISVCacheSweep(); err == nil {
-			harness.PrintCacheSweep(w, rows)
-		}
-	case "hw-compare":
-		var le []harness.LEBenchCell
-		var ap []harness.AppCell
-		if le, err = h.Fig92(); err == nil {
-			if ap, err = h.Fig93(); err == nil {
-				harness.PrintHWCompare(w, harness.HWCompare(le, ap, opt.Schemes))
-			}
-		}
-	default:
-		err = fmt.Errorf("unknown experiment %q (try -list)", *exp)
-	}
-	if err != nil {
+	if err := e.Run(h, w); err != nil {
 		fatal(err)
 	}
 }

@@ -103,6 +103,20 @@ type Access struct {
 	AddrTainted bool    // address depends on speculatively loaded data (STT)
 }
 
+// FaultHook injects microarchitectural faults (internal/faultinject). Each
+// method is an opportunity poll: a deterministic, seeded implementation
+// decides per event whether the fault fires. All call sites are nil-guarded.
+type FaultHook interface {
+	// SpuriousSquash reports whether the correctly predicted branch at pc
+	// should be squashed anyway: the frontend transiently runs the
+	// alternate direction before redirecting, as after a real mispredict.
+	SpuriousSquash(pc uint64) bool
+	// DelaySwitch reports whether the context switch from → to should
+	// leave the stale view context (ASID) in effect until the core next
+	// leaves the kernel — a lost/late view-switch message.
+	DelaySwitch(from, to sec.Ctx) bool
+}
+
 // Policy is the pluggable defense consulted for every transmitter whose
 // issue falls inside a branch shadow (i.e. every *speculative* transmitter).
 // Non-speculative instructions are never blocked.
@@ -185,6 +199,14 @@ type Core struct {
 	Policy Policy
 	Tracer Tracer
 
+	// Fault, when set, injects microarchitectural faults: spurious
+	// squashes at resolved branches and delayed view-context switches.
+	Fault FaultHook
+	// SecCheck, when set, receives invariant-relevant events (transient
+	// cache fills, squash restoration) for comparison against the
+	// architectural view state (sec.Checker).
+	SecCheck sec.Checker
+
 	// Regs is the architectural register file; callers marshal syscall
 	// arguments here before Run.
 	Regs [isa.NumRegs]uint64
@@ -202,6 +224,11 @@ type Core struct {
 
 	ctx        sec.Ctx
 	kernelMode bool
+
+	// pendingCtx holds a context switch an injected DelaySwitch fault is
+	// holding back; it is applied when the core next leaves the kernel.
+	pendingCtx    sec.Ctx
+	hasPendingCtx bool
 
 	lastFetchLine uint64
 }
@@ -234,8 +261,17 @@ func (c *Core) KernelMode() bool { return c.kernelMode }
 
 // SetCtx switches the execution context (scheduler context switch). The
 // predictors are deliberately NOT flushed: shared, untagged predictor state
-// across contexts is what enables the cross-context attacks of §4.1.
-func (c *Core) SetCtx(ctx sec.Ctx) { c.ctx = ctx }
+// across contexts is what enables the cross-context attacks of §4.1. An
+// injected DelaySwitch fault keeps the stale context in effect — view
+// checks run against the wrong ASID — until the core next exits the kernel.
+func (c *Core) SetCtx(ctx sec.Ctx) {
+	if c.Fault != nil && ctx != c.ctx && c.Fault.DelaySwitch(c.ctx, ctx) {
+		c.pendingCtx, c.hasPendingCtx = ctx, true
+		return
+	}
+	c.ctx = ctx
+	c.hasPendingCtx = false
+}
 
 // EnterKernel charges the mode-switch cost and flips to kernel mode.
 func (c *Core) EnterKernel() {
@@ -245,10 +281,15 @@ func (c *Core) EnterKernel() {
 	c.Stats.KernelEntries++
 }
 
-// ExitKernel charges the return cost and flips back to user mode.
+// ExitKernel charges the return cost and flips back to user mode. A
+// fault-delayed context switch is resolved here: the stale-ASID window an
+// injected DelaySwitch opened ends with the kernel run it covered.
 func (c *Core) ExitKernel() {
 	c.kernelMode = false
 	c.now += float64(c.Cfg.KernelEntryCost/2 + c.Policy.KernelCrossPenalty())
+	if c.hasPendingCtx {
+		c.ctx, c.hasPendingCtx = c.pendingCtx, false
+	}
 }
 
 // reg reads a register, honouring the hardwired zero.
@@ -471,7 +512,20 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 				if predicted {
 					wrong = inst.Target
 				}
-				c.runTransient(wrong, c.transientBudget(resolve), resolve)
+				c.runTransientChecked(wrong, c.transientBudget(resolve), resolve, pc)
+				c.now = resolve + float64(c.Cfg.MispredictPenalty)
+			} else if c.Fault != nil && c.Fault.SpuriousSquash(pc) {
+				// Injected fault: a correctly predicted branch is squashed
+				// anyway. The frontend transiently runs the untaken
+				// direction before the redirect — wrong-path execution
+				// where a healthy pipeline has none — and pays the full
+				// redirect penalty. Architectural state must survive (the
+				// checker asserts it).
+				wrong := inst.Target
+				if taken {
+					wrong = next
+				}
+				c.runTransientChecked(wrong, c.transientBudget(resolve), resolve, pc)
 				c.now = resolve + float64(c.Cfg.MispredictPenalty)
 			}
 			if taken {
@@ -508,7 +562,7 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 				if okP && predicted != actual {
 					// Speculative control-flow hijack window (Spectre v2).
 					c.Stats.Mispredicts++
-					c.runTransient(predicted, c.transientBudget(resolve), resolve)
+					c.runTransientChecked(predicted, c.transientBudget(resolve), resolve, pc)
 					c.now = resolve + float64(c.Cfg.MispredictPenalty)
 				} else if !okP {
 					// BTB miss: the frontend stalls until resolution.
@@ -540,7 +594,7 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 				}
 				if predicted, okP := c.BP.RAS.Pop(); okP && predicted != 0 {
 					c.Stats.Mispredicts++
-					c.runTransient(predicted, c.transientBudget(resolve), resolve)
+					c.runTransientChecked(predicted, c.transientBudget(resolve), resolve, pc)
 					c.now = resolve + float64(c.Cfg.MispredictPenalty)
 				}
 				c.commit(resolve)
@@ -560,7 +614,7 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 			if okP && predicted != actual {
 				// Return target hijack window (Spectre RSB / Retbleed).
 				c.Stats.Mispredicts++
-				c.runTransient(predicted, c.transientBudget(resolve), resolve)
+				c.runTransientChecked(predicted, c.transientBudget(resolve), resolve, pc)
 				c.now = resolve + float64(c.Cfg.MispredictPenalty)
 			} else if !okP {
 				c.now = resolve

@@ -7,6 +7,22 @@ import (
 
 func memsimIsKernel(va uint64) bool { return memsim.IsKernel(va) }
 
+// runTransientChecked wraps runTransient with the squash-restoration
+// invariant: when a checker is installed, the architectural register file is
+// snapshotted around the wrong path and any difference is reported (the
+// "squash always rolls back wrong-path state" contract, which the
+// fault-injection campaigns stress). brPC is the squashed control
+// instruction, for attribution.
+func (c *Core) runTransientChecked(pc uint64, budget int, shadowEnd float64, brPC uint64) {
+	if c.SecCheck == nil {
+		c.runTransient(pc, budget, shadowEnd)
+		return
+	}
+	saved := c.Regs
+	c.runTransient(pc, budget, shadowEnd)
+	c.SecCheck.SquashRestore(brPC, saved == c.Regs)
+}
+
 // runTransient executes the wrong path after a mispredicted branch, indirect
 // target, or return, up to budget instructions, then squashes. This is where
 // every attack in the paper lives:
@@ -120,6 +136,9 @@ func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
 			// updates are deferred (never applied, since this path
 			// squashes).
 			c.H.AccessData(pa, false)
+			if c.SecCheck != nil {
+				c.SecCheck.TransientFill(c.ctx, pc, va, c.kernelMode)
+			}
 			var v uint64
 			if s, okS := storeBuf[va]; okS && s.size == inst.Size {
 				v = s.val

@@ -233,6 +233,11 @@ type Dir struct {
 
 	// Walks counts full DSVMT walks (cache misses that refilled).
 	Walks uint64
+
+	// Checker, when set, cross-checks every cached verdict against the
+	// DSVMT on use and reports disagreements — the CheckInvariants hook
+	// that catches fault-corrupted cache state the moment it matters.
+	Checker sec.Checker
 }
 
 // NewDir creates an empty directory with the Table 7.1 DSV cache.
@@ -283,6 +288,11 @@ const (
 func (d *Dir) Check(ctx sec.Ctx, va uint64) Result {
 	key := va >> shift4K
 	if payload, hit := d.cache.Lookup(ctx, key); hit {
+		if d.Checker != nil {
+			if actual := d.Owns(ctx, va); actual != (payload == 1) {
+				d.Checker.ViewMismatch("dsv", ctx, va, payload == 1, actual)
+			}
+		}
 		if payload == 1 {
 			return Hit
 		}

@@ -1,0 +1,178 @@
+package faultinject
+
+import (
+	"testing"
+
+	"repro/internal/dsv"
+	"repro/internal/isv"
+	"repro/internal/sec"
+)
+
+func TestKindAndViolationNames(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if k.String() == "?" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	for v := ViolationKind(0); v < NumViolationKinds; v++ {
+		if v.String() == "?" {
+			t.Errorf("violation kind %d unnamed", v)
+		}
+	}
+}
+
+func TestInjectorRates(t *testing.T) {
+	// Rate 0 never fires; rate 1 always fires.
+	never := New(UniformConfig(1, 0))
+	always := New(UniformConfig(1, 1))
+	for i := 0; i < 100; i++ {
+		if never.fire(DSVBitFlip) {
+			t.Fatal("rate-0 injector fired")
+		}
+		if !always.fire(DSVBitFlip) {
+			t.Fatal("rate-1 injector did not fire")
+		}
+	}
+	if never.Stats.TotalInjected() != 0 {
+		t.Error("rate-0 injected count nonzero")
+	}
+	if always.Stats.Injected[DSVBitFlip] != 100 || always.Stats.Opportunities[DSVBitFlip] != 100 {
+		t.Errorf("stats = %+v", always.Stats)
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	pattern := func() []bool {
+		in := New(UniformConfig(42, 0.3))
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, in.fire(Kind(i%int(NumKinds))))
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed injectors diverge at poll %d", i)
+		}
+	}
+}
+
+func TestDSVFaultAdapters(t *testing.T) {
+	flip := dsvFault{New(Config{Seed: 1, Rates: ratesFor(DSVBitFlip, 1)})}
+	if p, drop := flip.OnFill(1, 10, 1); drop || p != 0 {
+		t.Errorf("bit flip: payload=%d drop=%v", p, drop)
+	}
+	drop := dsvFault{New(Config{Seed: 1, Rates: ratesFor(DSVDropFill, 1)})}
+	if _, dropped := drop.OnFill(1, 10, 1); !dropped {
+		t.Error("drop fault did not drop the fill")
+	}
+	clean := dsvFault{New(UniformConfig(1, 0))}
+	if p, dropped := clean.OnFill(1, 10, 1); dropped || p != 1 {
+		t.Errorf("clean fill perturbed: payload=%d drop=%v", p, dropped)
+	}
+}
+
+func TestISVFaultFlipsOneBit(t *testing.T) {
+	f := isvFault{New(Config{Seed: 7, Rates: ratesFor(ISVBitFlip, 1)})}
+	orig := uint64(0xdead_beef_0000_ffff)
+	p, drop := f.OnFill(1, 10, orig)
+	if drop {
+		t.Fatal("bit-flip fault dropped the fill")
+	}
+	diff := p ^ orig
+	if diff == 0 || diff&(diff-1) != 0 {
+		t.Errorf("expected exactly one flipped bit, diff=%#x", diff)
+	}
+}
+
+func ratesFor(k Kind, r float64) [NumKinds]float64 {
+	var rates [NumKinds]float64
+	rates[k] = r
+	return rates
+}
+
+func TestCheckerJudgesAgainstTables(t *testing.T) {
+	ctx := sec.Ctx(3)
+	d := dsv.NewDir()
+	i := isv.NewDir()
+	ownedVA := uint64(0xffff_8000_0000_0000)
+	d.Assign(ctx, ownedVA, 4096)
+	view := isv.NewView()
+	trustedPC := uint64(0xffff_ffff_8100_0000)
+	view.AddFunc(trustedPC, 4)
+	i.Install(ctx, view)
+
+	chk := NewChecker(d, i)
+
+	// In-view kernel fill from trusted code: clean.
+	chk.TransientFill(ctx, trustedPC, ownedVA, true)
+	if chk.Total() != 0 {
+		t.Fatalf("clean fill flagged: %v", chk.Recorded)
+	}
+	// User-mode fills are never judged.
+	chk.TransientFill(ctx, 0x4000, 0xbad000, false)
+	if chk.Total() != 0 {
+		t.Fatal("user-mode fill flagged")
+	}
+	// Out-of-view data: violation.
+	chk.TransientFill(ctx, trustedPC, ownedVA+0x10000, true)
+	if chk.Count[OutOfViewFill] != 1 {
+		t.Errorf("out-of-view fill not flagged: %+v", chk.Count)
+	}
+	// Untrusted transmitter PC: violation.
+	chk.TransientFill(ctx, trustedPC+0x9000, ownedVA, true)
+	if chk.Count[UntrustedFill] != 1 {
+		t.Errorf("untrusted fill not flagged: %+v", chk.Count)
+	}
+	// No installed view for another ctx: ISV judgement is skipped, DSV not.
+	other := sec.Ctx(4)
+	chk.TransientFill(other, 0x1234, 0x5678, true)
+	if chk.Count[UntrustedFill] != 1 {
+		t.Error("viewless ctx judged against ISV")
+	}
+	if chk.Count[OutOfViewFill] != 2 {
+		t.Error("viewless ctx not judged against DSV")
+	}
+
+	// Squash restoration.
+	chk.SquashRestore(1, true)
+	if chk.Count[SquashLeak] != 0 {
+		t.Error("intact squash flagged")
+	}
+	chk.SquashRestore(1, false)
+	if chk.Count[SquashLeak] != 1 {
+		t.Error("corrupt squash not flagged")
+	}
+
+	// Stale-view direction: cached in-view / actually outside is dangerous;
+	// the opposite is only a spurious block.
+	chk.ViewMismatch("dsv", ctx, 0x1000, true, false)
+	chk.ViewMismatch("isv", ctx, 0x1000, true, false)
+	chk.ViewMismatch("dsv", ctx, 0x1000, false, true)
+	if chk.Count[DSVStale] != 1 || chk.Count[ISVStale] != 1 {
+		t.Errorf("stale counts = %+v", chk.Count)
+	}
+	if chk.SpuriousStale != 1 {
+		t.Errorf("spurious stale = %d", chk.SpuriousStale)
+	}
+	if chk.Total() != 6 {
+		t.Errorf("total = %d, want 6", chk.Total())
+	}
+	if len(chk.Recorded) != int(chk.Total()) {
+		t.Errorf("recorded %d of %d", len(chk.Recorded), chk.Total())
+	}
+}
+
+func TestCheckerRecordCap(t *testing.T) {
+	chk := NewChecker(dsv.NewDir(), isv.NewDir())
+	for n := 0; n < maxRecorded*3; n++ {
+		chk.SquashRestore(uint64(n), false)
+	}
+	if len(chk.Recorded) != maxRecorded {
+		t.Errorf("recorded %d, cap %d", len(chk.Recorded), maxRecorded)
+	}
+	if chk.Count[SquashLeak] != uint64(maxRecorded*3) {
+		t.Error("counter must stay exact past the record cap")
+	}
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CellErrors accumulates per-cell failures so one bad (scheme, test) pair no
+// longer discards an experiment's remaining measurements: experiments record
+// the failure in the affected cell, keep going, and surface the aggregate at
+// the end.
+type CellErrors struct {
+	errs []error
+}
+
+// Add records a non-nil error.
+func (c *CellErrors) Add(err error) {
+	if err != nil {
+		c.errs = append(c.errs, err)
+	}
+}
+
+// Addf records a formatted error.
+func (c *CellErrors) Addf(format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf(format, args...))
+}
+
+// Len reports how many errors were recorded.
+func (c *CellErrors) Len() int { return len(c.errs) }
+
+// Err returns the aggregate, or nil when every cell succeeded.
+func (c *CellErrors) Err() error {
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return c
+}
+
+// Error implements error.
+func (c *CellErrors) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d cell(s) failed:", len(c.errs))
+	for _, e := range c.errs {
+		b.WriteString("\n  ")
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual errors to errors.Is/As.
+func (c *CellErrors) Unwrap() []error { return c.errs }

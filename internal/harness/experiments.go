@@ -24,35 +24,48 @@ const CPUFreqHz = 2e9
 
 // LEBenchCell is one (test, scheme) measurement.
 type LEBenchCell struct {
-	Test       string
-	Scheme     schemes.Kind
-	Cycles     float64
-	Normalized float64 // latency / UNSAFE latency
+	Test          string
+	Scheme        schemes.Kind
+	Cycles        float64
+	Normalized    float64 // latency / UNSAFE latency
+	HandlerFaults uint64  // kernel-reported faults during the cell
+	Err           string  // cell failure, "" if it measured cleanly
 }
 
 // Fig92 runs the LEBench suite under every scheme and returns normalized
-// latencies (Figure 9.2).
+// latencies (Figure 9.2). A cell that fails is recorded with its error and
+// the sweep continues; the aggregate of failed cells is the returned error.
 func (h *Harness) Fig92() ([]LEBenchCell, error) {
 	views, err := h.ViewsFor(h.Workloads()[0])
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("fig9.2: %w", err)
 	}
 	var cells []LEBenchCell
+	var cerrs CellErrors
 	base := map[string]float64{}
 	for _, kind := range h.Opt.Schemes {
 		for _, tst := range lebench.Tests() {
+			c := LEBenchCell{Test: tst.Name, Scheme: kind}
 			k, err := h.newMachine(kind, views.Select(kind))
 			if err != nil {
-				return nil, err
+				c.Err = err.Error()
+				cerrs.Addf("fig9.2/%v/%s: %w", kind, tst.Name, err)
+				cells = append(cells, c)
+				continue
 			}
 			res, err := lebench.RunTest(k, tst, h.Opt.LEBenchIters)
+			c.HandlerFaults = k.Stats.HandlerFaults
 			if err != nil {
-				return nil, fmt.Errorf("%v/%s: %w", kind, tst.Name, err)
+				c.Err = err.Error()
+				cerrs.Addf("fig9.2/%v/%s: %w", kind, tst.Name, err)
+				cells = append(cells, c)
+				continue
 			}
-			if k.Stats.HandlerFaults > 0 {
-				return nil, fmt.Errorf("%v/%s: %d handler faults", kind, tst.Name, k.Stats.HandlerFaults)
+			if c.HandlerFaults > 0 {
+				c.Err = fmt.Sprintf("%d handler faults", c.HandlerFaults)
+				cerrs.Addf("fig9.2/%v/%s: %d handler faults", kind, tst.Name, c.HandlerFaults)
 			}
-			c := LEBenchCell{Test: tst.Name, Scheme: kind, Cycles: res.CyclesPerIter}
+			c.Cycles = res.CyclesPerIter
 			if kind == schemes.Unsafe {
 				base[tst.Name] = res.CyclesPerIter
 			}
@@ -62,7 +75,7 @@ func (h *Harness) Fig92() ([]LEBenchCell, error) {
 			cells = append(cells, c)
 		}
 	}
-	return cells, nil
+	return cells, cerrs.Err()
 }
 
 // SchemeAverages reduces Fig92 cells to per-scheme mean normalized latency.
@@ -114,6 +127,22 @@ func PrintFig92(w io.Writer, cells []LEBenchCell, kinds []schemes.Kind) {
 		fmt.Fprintf(w, "%14.3f", avg[k])
 	}
 	fmt.Fprintln(w)
+	var faults uint64
+	var failed int
+	for _, c := range cells {
+		faults += c.HandlerFaults
+		if c.Err != "" {
+			failed++
+		}
+	}
+	if failed > 0 || faults > 0 {
+		fmt.Fprintf(w, "!! %d cell(s) failed, %d handler fault(s):\n", failed, faults)
+		for _, c := range cells {
+			if c.Err != "" {
+				fmt.Fprintf(w, "   %v/%s: %s\n", c.Scheme, c.Test, c.Err)
+			}
+		}
+	}
 }
 
 // ---------------------------------------------------------------- Fig 9.3
@@ -126,6 +155,8 @@ type AppCell struct {
 	TotalCycles    float64 // per request incl. fixed userspace time
 	RPS            float64
 	NormThroughput float64 // vs UNSAFE
+	HandlerFaults  uint64  // kernel-reported faults during the cell
+	Err            string  // cell failure, "" if it measured cleanly
 }
 
 // Fig93 measures datacenter-application throughput per scheme (Figure 9.3).
@@ -134,40 +165,50 @@ type AppCell struct {
 // end-to-end throughput exactly as on real hardware.
 func (h *Harness) Fig93() ([]AppCell, error) {
 	var cells []AppCell
+	var cerrs CellErrors
 	for _, w := range h.Workloads() {
 		if w.App == nil {
 			continue
 		}
 		views, err := h.ViewsFor(w)
 		if err != nil {
-			return nil, err
+			cerrs.Addf("fig9.3/%s: %w", w.Name, err)
+			continue
 		}
 		var userCycles, baseTotal float64
 		for _, kind := range h.Opt.Schemes {
+			c := AppCell{App: w.Name, Scheme: kind}
+			fail := func(err error) {
+				c.Err = err.Error()
+				cerrs.Addf("fig9.3/%v/%s: %w", kind, w.Name, err)
+				cells = append(cells, c)
+			}
 			k, err := h.newMachine(kind, views.Select(kind))
 			if err != nil {
-				return nil, err
+				fail(err)
+				continue
 			}
 			conn, err := apps.Dial(*w.App, k)
 			if err != nil {
-				return nil, err
+				fail(err)
+				continue
 			}
 			kc, err := conn.Serve(h.Opt.AppRequests)
+			c.HandlerFaults = k.Stats.HandlerFaults
 			if err != nil {
-				return nil, fmt.Errorf("%v/%s: %w", kind, w.Name, err)
+				fail(err)
+				continue
 			}
-			if k.Stats.HandlerFaults > 0 {
-				return nil, fmt.Errorf("%v/%s: %d handler faults", kind, w.Name, k.Stats.HandlerFaults)
+			if c.HandlerFaults > 0 {
+				c.Err = fmt.Sprintf("%d handler faults", c.HandlerFaults)
+				cerrs.Addf("fig9.3/%v/%s: %d handler faults", kind, w.Name, c.HandlerFaults)
 			}
 			if kind == schemes.Unsafe {
 				userCycles = w.App.UserCyclesPerReq(kc)
 			}
 			total := kc + userCycles
-			c := AppCell{
-				App: w.Name, Scheme: kind,
-				KernelCycles: kc, TotalCycles: total,
-				RPS: CPUFreqHz / total,
-			}
+			c.KernelCycles, c.TotalCycles = kc, total
+			c.RPS = CPUFreqHz / total
 			if kind == schemes.Unsafe {
 				baseTotal = total
 			}
@@ -177,7 +218,7 @@ func (h *Harness) Fig93() ([]AppCell, error) {
 			cells = append(cells, c)
 		}
 	}
-	return cells, nil
+	return cells, cerrs.Err()
 }
 
 // PrintFig93 renders the throughput figure.
@@ -206,6 +247,22 @@ func PrintFig93(w io.Writer, cells []AppCell, kinds []schemes.Kind) {
 		}
 		fmt.Fprintf(w, "%14.0f\n", byApp[a][schemes.Unsafe].RPS)
 	}
+	var faults uint64
+	var failed int
+	for _, c := range cells {
+		faults += c.HandlerFaults
+		if c.Err != "" {
+			failed++
+		}
+	}
+	if failed > 0 || faults > 0 {
+		fmt.Fprintf(w, "!! %d cell(s) failed, %d handler fault(s):\n", failed, faults)
+		for _, c := range cells {
+			if c.Err != "" {
+				fmt.Fprintf(w, "   %v/%s: %s\n", c.Scheme, c.App, c.Err)
+			}
+		}
+	}
 }
 
 // ---------------------------------------------------------------- Table 8.1
@@ -225,7 +282,7 @@ func (h *Harness) Table81() ([]SurfaceRow, error) {
 	for _, w := range h.Workloads() {
 		v, err := h.ViewsFor(w)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("table8.1/%s: %w", w.Name, err)
 		}
 		rows = append(rows, SurfaceRow{
 			Workload:    w.Name,
@@ -266,7 +323,7 @@ func (h *Harness) Table82() ([]GadgetRow, int, error) {
 	for _, w := range h.Workloads() {
 		v, err := h.ViewsFor(w)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, fmt.Errorf("table8.2/%s: %w", w.Name, err)
 		}
 		var row GadgetRow
 		row.Workload = w.Name
@@ -314,7 +371,7 @@ func (h *Harness) Fig91() ([]SpeedupRow, error) {
 	for _, w := range h.Workloads() {
 		v, err := h.ViewsFor(w)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("fig9.1/%s: %w", w.Name, err)
 		}
 		bounded := scanner.Scan(h.Img, v.Dynamic.Funcs, h.Opt.Seed)
 		rows = append(rows, SpeedupRow{
@@ -360,15 +417,15 @@ func (h *Harness) Table101() ([]FenceRow, error) {
 	for _, w := range h.Workloads() {
 		views, err := h.ViewsFor(w)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("table10.1/%s: %w", w.Name, err)
 		}
 		for _, kind := range variants {
 			k, err := h.newMachine(kind, views.Select(kind))
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("table10.1/%v/%s: %w", kind, w.Name, err)
 			}
 			if err := h.runWorkloadOnce(k, w); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("table10.1/%v/%s: %w", kind, w.Name, err)
 			}
 			pol := k.Core.Policy.(*schemes.PerspectivePolicy)
 			st := pol.Stats
@@ -433,15 +490,15 @@ func (h *Harness) PoCMatrix() ([]PoCRow, error) {
 		for _, kind := range []schemes.Kind{schemes.Unsafe, schemes.Perspective} {
 			k, err := kernel.New(kernel.DefaultConfig(), h.Img)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("poc/%v/%s: %w", kind, a.name, err)
 			}
 			victim, err := k.CreateProcess("victim")
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("poc/%v/%s: victim: %w", kind, a.name, err)
 			}
 			attacker, err := k.CreateProcess("attacker")
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("poc/%v/%s: attacker: %w", kind, a.name, err)
 			}
 			if kind.IsPerspective() {
 				// The victim's ISV excludes the disclosure gadgets (either
@@ -455,11 +512,11 @@ func (h *Harness) PoCMatrix() ([]PoCRow, error) {
 			}
 			secretVA, err := attack.PlantSecret(k, victim, secret)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("poc/%v/%s: plant: %w", kind, a.name, err)
 			}
 			res, err := a.run(k, victim, attacker, secretVA, len(secret))
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("poc/%v/%s: %w", kind, a.name, err)
 			}
 			leaked := res.Match(secret)
 			rows = append(rows, PoCRow{

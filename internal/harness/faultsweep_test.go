@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/schemes"
+)
+
+func sweepRow(t *testing.T, rows []FaultSweepRow, kind schemes.Kind, rate float64) FaultSweepRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Scheme == kind && r.Rate == rate {
+			return r
+		}
+	}
+	t.Fatalf("no row for %v at rate %g", kind, rate)
+	return FaultSweepRow{}
+}
+
+func TestFaultSweep(t *testing.T) {
+	h := New(QuickOptions())
+	rows, err := h.FaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(FaultSweepSchemes) * len(FaultSweepRates); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+
+	// Control row: with no faults injected, UNSAFE leaks through the covert
+	// channel (out-of-view fills and recovered secret bytes) while full
+	// Perspective shows zero invariant violations and zero leakage.
+	unsafe := sweepRow(t, rows, schemes.Unsafe, 0)
+	if unsafe.Injected != 0 {
+		t.Errorf("UNSAFE rate 0 injected %d faults", unsafe.Injected)
+	}
+	if unsafe.OutOfView == 0 {
+		t.Error("UNSAFE at rate 0 should show out-of-view transient fills")
+	}
+	if unsafe.Leaked == 0 {
+		t.Error("UNSAFE at rate 0 should leak the PoC secret")
+	}
+	persp := sweepRow(t, rows, schemes.Perspective, 0)
+	if persp.Err != "" {
+		t.Fatalf("PERSPECTIVE rate 0 errored: %s", persp.Err)
+	}
+	if v := persp.Violations(); v != 0 {
+		t.Errorf("PERSPECTIVE at rate 0 has %d invariant violations", v)
+	}
+	if persp.Leaked != 0 {
+		t.Errorf("PERSPECTIVE at rate 0 leaked %d bytes", persp.Leaked)
+	}
+
+	// Raising the rate must actually fire faults.
+	for _, kind := range FaultSweepSchemes {
+		r := sweepRow(t, rows, kind, FaultSweepRates[len(FaultSweepRates)-1])
+		if r.Injected == 0 {
+			t.Errorf("%v at rate %g injected no faults (%d opportunities)",
+				kind, r.Rate, r.Opportunities)
+		}
+	}
+}
+
+// TestFaultSweepDeterministic is the determinism regression: two fresh
+// harnesses with the same seed must render byte-identical reports.
+func TestFaultSweepDeterministic(t *testing.T) {
+	render := func() string {
+		h := New(QuickOptions())
+		rows, err := h.FaultSweep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		PrintFaultSweep(&buf, rows)
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("same-seed sweeps differ:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}

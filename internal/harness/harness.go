@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/callgraph"
@@ -34,8 +35,10 @@ type Options struct {
 	AppRequests int
 	// Schemes lists the configurations to evaluate.
 	Schemes []schemes.Kind
-	// Seed drives the scanner campaigns.
+	// Seed drives the scanner campaigns and the fault injector.
 	Seed int64
+	// Timeout bounds each supervised experiment; zero means no deadline.
+	Timeout time.Duration
 }
 
 // QuickOptions runs everything at unit-test scale in a few seconds.
@@ -139,7 +142,7 @@ func (h *Harness) Workloads() []Workload {
 func (h *Harness) newMachine(kind schemes.Kind, view *isvgen.Result) (*kernel.Kernel, error) {
 	k, err := kernel.New(kernel.DefaultConfig(), h.Img)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("boot %v machine: %w", kind, err)
 	}
 	k.Core.Policy = schemes.New(kind, k.DSV, k.ISV)
 	if kind.IsPerspective() && view != nil {
@@ -165,7 +168,7 @@ func (h *Harness) ViewsFor(w Workload) (*Views, error) {
 	// Profiling run: unprotected machine, tracing on for every container.
 	k, err := kernel.New(kernel.DefaultConfig(), h.Img)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("views/%s: boot profiling machine: %w", w.Name, err)
 	}
 	var ctxs []sec.Ctx
 	k.OnProcessCreate = func(t *kernel.Task) {
@@ -208,17 +211,19 @@ func (h *Harness) runWorkloadOnce(k *kernel.Kernel, w Workload) error {
 	if w.App == nil {
 		for _, tst := range lebench.Tests() {
 			if _, err := lebench.RunTest(k, tst, 2); err != nil {
-				return err
+				return fmt.Errorf("%s/%s: %w", w.Name, tst.Name, err)
 			}
 		}
 		return nil
 	}
 	c, err := apps.Dial(*w.App, k)
 	if err != nil {
-		return err
+		return fmt.Errorf("%s: dial: %w", w.Name, err)
 	}
-	_, err = c.Serve(min(h.Opt.AppRequests, 20))
-	return err
+	if _, err = c.Serve(min(h.Opt.AppRequests, 20)); err != nil {
+		return fmt.Errorf("%s: serve: %w", w.Name, err)
+	}
+	return nil
 }
 
 func min(a, b int) int {

@@ -28,7 +28,7 @@ func (h *Harness) Sensitivity() ([]SensitivityRow, error) {
 	for _, w := range h.Workloads() {
 		views, err := h.ViewsFor(w)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("sensitivity/%s: %w", w.Name, err)
 		}
 		run := func(blockUnknown, secureSlab bool) (*kernel.Kernel, float64, error) {
 			cfg := kernel.DefaultConfig()
@@ -52,15 +52,15 @@ func (h *Harness) Sensitivity() ([]SensitivityRow, error) {
 
 		k, cyc, err := run(true, true)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("sensitivity/%s: secure run: %w", w.Name, err)
 		}
 		_, cycNoUnk, err := run(false, true)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("sensitivity/%s: no-unknown run: %w", w.Name, err)
 		}
 		kBase, _, err := run(true, false)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("sensitivity/%s: baseline-slab run: %w", w.Name, err)
 		}
 
 		row := SensitivityRow{
@@ -138,66 +138,84 @@ func PrintHWCompare(w io.Writer, rows []HWCompareRow) {
 	}
 }
 
-// RunAll executes every experiment and prints the paper-style report.
+// RunAll executes every experiment and prints the paper-style report. A
+// failing experiment no longer aborts the rest: its error is accumulated,
+// whatever it measured is still printed, and the aggregate is returned at
+// the end. (perspective-sim's `-exp all` adds panic recovery, deadlines,
+// retries and checkpointing on top via Supervise.)
 func (h *Harness) RunAll(w io.Writer) error {
+	var cerrs CellErrors
+
 	PrintTable71(w)
 	PrintTable41(w)
 	PrintTable91(w)
 
 	rows81, err := h.Table81()
-	if err != nil {
-		return err
+	cerrs.Add(err)
+	if len(rows81) > 0 || err == nil {
+		PrintTable81(w, rows81, h.Img.NumFuncs())
 	}
-	PrintTable81(w, rows81, h.Img.NumFuncs())
 
 	rows82, census, err := h.Table82()
-	if err != nil {
-		return err
+	cerrs.Add(err)
+	if len(rows82) > 0 || err == nil {
+		PrintTable82(w, rows82, census)
 	}
-	PrintTable82(w, rows82, census)
 
 	rows91, err := h.Fig91()
-	if err != nil {
-		return err
+	cerrs.Add(err)
+	if len(rows91) > 0 {
+		PrintFig91(w, rows91)
 	}
-	PrintFig91(w, rows91)
 
 	poc, err := h.PoCMatrix()
-	if err != nil {
-		return err
+	cerrs.Add(err)
+	if len(poc) > 0 {
+		PrintPoCMatrix(w, poc)
 	}
-	PrintPoCMatrix(w, poc)
 
 	le, err := h.Fig92()
-	if err != nil {
-		return err
+	cerrs.Add(err)
+	if len(le) > 0 {
+		PrintFig92(w, le, h.Opt.Schemes)
 	}
-	PrintFig92(w, le, h.Opt.Schemes)
 
 	ap, err := h.Fig93()
-	if err != nil {
-		return err
+	cerrs.Add(err)
+	if len(ap) > 0 {
+		PrintFig93(w, ap, h.Opt.Schemes)
 	}
-	PrintFig93(w, ap, h.Opt.Schemes)
 
-	PrintHWCompare(w, HWCompare(le, ap, h.Opt.Schemes))
+	if len(le) > 0 || len(ap) > 0 {
+		PrintHWCompare(w, HWCompare(le, ap, h.Opt.Schemes))
+	}
 
 	fences, err := h.Table101()
-	if err != nil {
-		return err
+	cerrs.Add(err)
+	if len(fences) > 0 {
+		PrintTable101(w, fences)
 	}
-	PrintTable101(w, fences)
 
 	sens, err := h.Sensitivity()
-	if err != nil {
-		return err
+	cerrs.Add(err)
+	if len(sens) > 0 {
+		PrintSensitivity(w, sens)
 	}
-	PrintSensitivity(w, sens)
 
 	sweep, err := h.ISVCacheSweep()
-	if err != nil {
-		return err
+	cerrs.Add(err)
+	if len(sweep) > 0 {
+		PrintCacheSweep(w, sweep)
 	}
-	PrintCacheSweep(w, sweep)
-	return nil
+
+	fsweep, err := h.FaultSweep()
+	cerrs.Add(err)
+	if len(fsweep) > 0 {
+		PrintFaultSweep(w, fsweep)
+	}
+
+	if cerrs.Len() > 0 {
+		fmt.Fprintf(w, "\n!! %d experiment failure(s); see aggregate error\n", cerrs.Len())
+	}
+	return cerrs.Err()
 }

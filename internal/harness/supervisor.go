@@ -1,0 +1,349 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// Experiment is one supervisable unit: it runs against a harness and prints
+// its table or figure. Run must be self-contained — the supervisor may call
+// it on a rebuilt harness after a panic or timeout.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(h *Harness, w io.Writer) error
+}
+
+// Experiments returns the registry in report order. `perspective-sim -exp
+// <name>` dispatches through this table, and `-exp all` supervises the whole
+// sequence.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table7.1", "simulation parameters",
+			func(h *Harness, w io.Writer) error { PrintTable71(w); return nil }},
+		{"table4.1", "CVE taxonomy with executable PoC stand-ins",
+			func(h *Harness, w io.Writer) error { PrintTable41(w); return nil }},
+		{"table9.1", "DSV/ISV cache area/time/energy (22nm)",
+			func(h *Harness, w io.Writer) error { PrintTable91(w); return nil }},
+		{"table8.1", "attack-surface reduction per workload",
+			func(h *Harness, w io.Writer) error {
+				rows, err := h.Table81()
+				if len(rows) > 0 {
+					PrintTable81(w, rows, h.Img.NumFuncs())
+				}
+				return err
+			}},
+		{"table8.2", "gadget reduction per ISV variant",
+			func(h *Harness, w io.Writer) error {
+				rows, census, err := h.Table82()
+				if len(rows) > 0 {
+					PrintTable82(w, rows, census)
+				}
+				return err
+			}},
+		{"fig9.1", "Kasper discovery-rate speedup from ISV bounding",
+			func(h *Harness, w io.Writer) error {
+				rows, err := h.Fig91()
+				if len(rows) > 0 {
+					PrintFig91(w, rows)
+				}
+				return err
+			}},
+		{"poc", "attack PoCs under UNSAFE and PERSPECTIVE",
+			func(h *Harness, w io.Writer) error {
+				rows, err := h.PoCMatrix()
+				if len(rows) > 0 {
+					PrintPoCMatrix(w, rows)
+				}
+				return err
+			}},
+		{"fig9.2", "LEBench normalized latency per scheme",
+			func(h *Harness, w io.Writer) error {
+				cells, err := h.Fig92()
+				if len(cells) > 0 {
+					PrintFig92(w, cells, h.Opt.Schemes)
+				}
+				return err
+			}},
+		{"fig9.3", "datacenter-app throughput per scheme",
+			func(h *Harness, w io.Writer) error {
+				cells, err := h.Fig93()
+				if len(cells) > 0 {
+					PrintFig93(w, cells, h.Opt.Schemes)
+				}
+				return err
+			}},
+		{"hw-compare", "§9.1 scheme summary",
+			func(h *Harness, w io.Writer) error {
+				le, err1 := h.Fig92()
+				ap, err2 := h.Fig93()
+				if len(le) > 0 || len(ap) > 0 {
+					PrintHWCompare(w, HWCompare(le, ap, h.Opt.Schemes))
+				}
+				return joinErrs(err1, err2)
+			}},
+		{"table10.1", "fence breakdown (ISV vs DSV)",
+			func(h *Harness, w io.Writer) error {
+				rows, err := h.Table101()
+				if len(rows) > 0 {
+					PrintTable101(w, rows)
+				}
+				return err
+			}},
+		{"sensitivity", "§9.2 analyses (hit rates, unknown allocs, slab)",
+			func(h *Harness, w io.Writer) error {
+				rows, err := h.Sensitivity()
+				if len(rows) > 0 {
+					PrintSensitivity(w, rows)
+				}
+				return err
+			}},
+		{"cache-sweep", "ISV cache geometry sensitivity (extension)",
+			func(h *Harness, w io.Writer) error {
+				rows, err := h.ISVCacheSweep()
+				if len(rows) > 0 {
+					PrintCacheSweep(w, rows)
+				}
+				return err
+			}},
+		{"faultsweep", "fault-injection sweep with invariant checking",
+			func(h *Harness, w io.Writer) error {
+				rows, err := h.FaultSweep()
+				if len(rows) > 0 {
+					PrintFaultSweep(w, rows)
+				}
+				return err
+			}},
+	}
+}
+
+// FindExperiment looks up a registry entry by name.
+func FindExperiment(name string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// SupervisorOptions configures the fault-tolerant runner.
+type SupervisorOptions struct {
+	// Retries is the number of attempts per experiment (>=1). Retries run
+	// on a freshly built harness reseeded with Options.Seed + attempt, so
+	// a seed-dependent failure doesn't simply repeat.
+	Retries int
+	// StateFile is the JSON checkpoint path; empty disables checkpointing.
+	StateFile string
+	// Resume skips experiments already recorded in StateFile (matching
+	// options fingerprint) and replays their saved output.
+	Resume bool
+}
+
+// ExpResult is one experiment's supervised outcome.
+type ExpResult struct {
+	Name       string `json:"name"`
+	Output     string `json:"output"`
+	Err        string `json:"err,omitempty"`
+	Attempts   int    `json:"attempts"`
+	DurationMS int64  `json:"duration_ms"`
+	Resumed    bool   `json:"resumed,omitempty"`
+}
+
+// checkpoint is the on-disk resume state. Fingerprint ties it to the options
+// that produced it: resuming a quick-scale run into a paper-scale invocation
+// must start over, not replay mismatched cells.
+type checkpoint struct {
+	Fingerprint string               `json:"fingerprint"`
+	Done        map[string]ExpResult `json:"done"`
+}
+
+// fingerprint identifies the option set for checkpoint compatibility.
+func fingerprint(o Options) string {
+	return fmt.Sprintf("spec=%d/%d iters=%d reqs=%d schemes=%v seed=%d",
+		o.Spec.Seed, o.Spec.NumSyscalls, o.LEBenchIters, o.AppRequests, o.Schemes, o.Seed)
+}
+
+func loadCheckpoint(path, fp string) map[string]ExpResult {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var cp checkpoint
+	if json.Unmarshal(b, &cp) != nil || cp.Fingerprint != fp {
+		return nil
+	}
+	return cp.Done
+}
+
+// saveCheckpoint writes atomically (tmp + rename) so an interrupt mid-write
+// never corrupts the resume state.
+func saveCheckpoint(path, fp string, done map[string]ExpResult) error {
+	b, err := json.MarshalIndent(checkpoint{Fingerprint: fp, Done: done}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// runProtected executes one experiment attempt with panic recovery and an
+// optional deadline. The attempt runs in its own goroutine; on timeout the
+// goroutine is abandoned (the simulator has no preemption points) and the
+// caller must discard the harness it was mutating.
+func runProtected(h *Harness, e Experiment, timeout time.Duration) (string, error) {
+	type outcome struct {
+		out string
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		var buf bytes.Buffer
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{buf.String(),
+					fmt.Errorf("%s: panic: %v\n%s", e.Name, r, debug.Stack())}
+			}
+		}()
+		err := e.Run(h, &buf)
+		if err != nil {
+			err = fmt.Errorf("%s: %w", e.Name, err)
+		}
+		ch <- outcome{buf.String(), err}
+	}()
+	if timeout <= 0 {
+		o := <-ch
+		return o.out, o.err
+	}
+	select {
+	case o := <-ch:
+		return o.out, o.err
+	case <-time.After(timeout):
+		return "", fmt.Errorf("%s: deadline exceeded (%v)", e.Name, timeout)
+	}
+}
+
+// SuperviseExperiments runs the given experiments under the supervisor:
+// panics become errors, each attempt gets Options.Timeout, failures retry on
+// a reseeded harness, completed cells checkpoint to disk, and a failing
+// experiment never stops its successors. Output streams to w as each
+// experiment finishes; the returned results feed PrintSupervisorReport.
+func SuperviseExperiments(opt Options, sup SupervisorOptions, exps []Experiment, w io.Writer) ([]ExpResult, error) {
+	if sup.Retries < 1 {
+		sup.Retries = 1
+	}
+	fp := fingerprint(opt)
+	done := map[string]ExpResult{}
+	if sup.Resume && sup.StateFile != "" {
+		done = loadCheckpoint(sup.StateFile, fp)
+		if done == nil {
+			done = map[string]ExpResult{}
+		}
+	}
+
+	// One harness is shared across experiments for the view cache; it is
+	// rebuilt after any panic or timeout, whose half-run state can't be
+	// trusted, and on retries, reseeded so the rerun differs.
+	h := New(opt)
+	var results []ExpResult
+	var failed []string
+	for _, e := range exps {
+		if prev, ok := done[e.Name]; ok && prev.Err == "" {
+			prev.Resumed = true
+			results = append(results, prev)
+			fmt.Fprint(w, prev.Output)
+			continue
+		}
+		res := ExpResult{Name: e.Name}
+		start := time.Now()
+		for attempt := 0; attempt < sup.Retries; attempt++ {
+			res.Attempts = attempt + 1
+			if attempt > 0 {
+				ro := opt
+				ro.Seed = opt.Seed + int64(attempt)
+				h = New(ro)
+			}
+			out, err := runProtected(h, e, opt.Timeout)
+			res.Output, res.Err = out, ""
+			if err == nil {
+				break
+			}
+			res.Err = err.Error()
+			// The failed attempt may have left the shared harness (or the
+			// abandoned goroutine may still be mutating it) — rebuild.
+			h = New(opt)
+		}
+		res.DurationMS = time.Since(start).Milliseconds()
+		results = append(results, res)
+		fmt.Fprint(w, res.Output)
+		if res.Err != "" {
+			failed = append(failed, res.Name)
+			fmt.Fprintf(w, "\n[supervisor] %s FAILED after %d attempt(s): %s\n",
+				res.Name, res.Attempts, firstLine(res.Err))
+		}
+		done[e.Name] = res
+		if sup.StateFile != "" {
+			if err := saveCheckpoint(sup.StateFile, fp, done); err != nil {
+				fmt.Fprintf(w, "[supervisor] checkpoint write failed: %v\n", err)
+			}
+		}
+	}
+	if len(failed) > 0 {
+		sort.Strings(failed)
+		return results, fmt.Errorf("%d of %d experiments failed: %v", len(failed), len(exps), failed)
+	}
+	return results, nil
+}
+
+// Supervise runs the full registry.
+func Supervise(opt Options, sup SupervisorOptions, w io.Writer) ([]ExpResult, error) {
+	return SuperviseExperiments(opt, sup, Experiments(), w)
+}
+
+// PrintSupervisorReport summarizes a supervised run.
+func PrintSupervisorReport(w io.Writer, results []ExpResult) {
+	Section(w, "Supervisor report")
+	fmt.Fprintf(w, "%-12s %9s %9s %8s  %s\n", "experiment", "status", "time", "attempts", "error")
+	for _, r := range results {
+		status := "ok"
+		switch {
+		case r.Err != "":
+			status = "FAILED"
+		case r.Resumed:
+			status = "resumed"
+		}
+		errCol := ""
+		if r.Err != "" {
+			errCol = firstLine(r.Err)
+		}
+		fmt.Fprintf(w, "%-12s %9s %8.1fs %8d  %s\n",
+			r.Name, status, float64(r.DurationMS)/1000, r.Attempts, errCol)
+	}
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func joinErrs(errs ...error) error {
+	var ce CellErrors
+	for _, e := range errs {
+		ce.Add(e)
+	}
+	return ce.Err()
+}

@@ -175,6 +175,11 @@ type Dir struct {
 
 	// Walks counts ISV-page fetches (cache misses that refilled).
 	Walks uint64
+
+	// Checker, when set, cross-checks every cached verdict against the
+	// installed view on use and reports disagreements — the
+	// CheckInvariants hook that catches fault-corrupted cache state.
+	Checker sec.Checker
 }
 
 // NewDir creates an empty directory with the Table 7.1 ISV cache.
@@ -223,7 +228,13 @@ const (
 func (d *Dir) Check(ctx sec.Ctx, pc uint64) Result {
 	key := pc >> lineShift
 	if payload, hit := d.cache.Lookup(ctx, key); hit {
-		if payload&(1<<((pc>>instShift)&(instsPerLine-1))) != 0 {
+		in := payload&(1<<((pc>>instShift)&(instsPerLine-1))) != 0
+		if d.Checker != nil {
+			if actual := d.Trusted(ctx, pc); actual != in {
+				d.Checker.ViewMismatch("isv", ctx, pc, in, actual)
+			}
+		}
+		if in {
 			return Hit
 		}
 		return HitOutside

@@ -18,3 +18,28 @@ const (
 	// CtxFirstUser is the first context id handed to user containers.
 	CtxFirstUser Ctx = 2
 )
+
+// Checker observes invariant-relevant hardware events, the CheckInvariants
+// hook points of the fault-injection campaigns (internal/faultinject): the
+// core and the view directories report raw events here, and the installed
+// implementation judges each one against the *architectural* view metadata
+// (the DSVMT and ISV tables — ground truth that injected faults never
+// touch, unlike the hardware caches). Every call site is nil-guarded, so a
+// machine without a checker pays nothing.
+type Checker interface {
+	// TransientFill reports a wrong-path data access the active policy
+	// allowed: ctx touched the cache line holding va while transiently
+	// executing the transmitter at pc (kernel is the privilege mode).
+	// This is the covert-channel transmit step; with a healthy view-based
+	// defense no out-of-view line is ever reported here.
+	TransientFill(ctx Ctx, pc, va uint64, kernel bool)
+	// SquashRestore reports the outcome of squashing the wrong path that
+	// began at pc: intact is false if transient execution left
+	// architectural register state modified.
+	SquashRestore(pc uint64, intact bool)
+	// ViewMismatch reports a view-cache verdict that disagrees with the
+	// architectural metadata (view is "dsv" or "isv"): the cached in-view
+	// bit for addr differs from what the table holds. Mismatches appear
+	// when an injected fault corrupts or drops a refill.
+	ViewMismatch(view string, ctx Ctx, addr uint64, cached, actual bool)
+}

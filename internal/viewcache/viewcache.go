@@ -25,6 +25,17 @@ type Stats struct {
 	Lookups uint64
 	Hits    uint64
 	Refills uint64
+	// Drops counts refills discarded by an injected fault (FillFault).
+	Drops uint64
+}
+
+// FillFault perturbs refills — the fault-injection hook
+// (internal/faultinject). OnFill may corrupt the payload being cached
+// (bit flips in the DSVMT / ISV-page entry on its way into the cache) or
+// drop the fill entirely (a lost refill message); the metadata tables
+// themselves are never touched.
+type FillFault interface {
+	OnFill(ctx sec.Ctx, key, payload uint64) (perturbed uint64, drop bool)
 }
 
 // HitRate returns hits/lookups, or 0 with no lookups.
@@ -51,6 +62,9 @@ type Cache struct {
 	entries []entry
 	clock   uint64
 	stats   Stats
+
+	// Fault, when set, perturbs every refill (fault-injection campaigns).
+	Fault FillFault
 }
 
 // New creates a cache. Sets must be a power of two.
@@ -90,6 +104,13 @@ func (c *Cache) Lookup(ctx sec.Ctx, key uint64) (payload uint64, hit bool) {
 
 // Fill installs (ctx, key) → payload, evicting the set's LRU way.
 func (c *Cache) Fill(ctx sec.Ctx, key uint64, payload uint64) {
+	if c.Fault != nil {
+		var drop bool
+		if payload, drop = c.Fault.OnFill(ctx, key, payload); drop {
+			c.stats.Drops++
+			return
+		}
+	}
 	c.clock++
 	c.stats.Refills++
 	base := c.set(key) * c.cfg.Ways
