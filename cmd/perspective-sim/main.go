@@ -5,9 +5,14 @@
 //
 //	perspective-sim -exp all                 # everything, supervised
 //	perspective-sim -exp fig9.2 -scale full  # one experiment, paper scale
+//	perspective-sim -exp fig92 -jobs 8       # parallel cells, same bytes out
 //	perspective-sim -exp faultsweep -seed 7  # fault-injection campaign
 //	perspective-sim -exp all -resume         # skip checkpointed experiments
 //	perspective-sim -list                    # enumerate experiments
+//
+// Every experiment's (scheme × workload) grid fans out to a worker pool of
+// -jobs cells; per-cell seeds derive from (seed, experiment, scheme,
+// workload), so output is byte-identical whatever the worker count.
 //
 // `-exp all` runs under a supervisor: a panicking or timed-out experiment
 // is retried on a reseeded harness and, failing that, reported without
@@ -30,6 +35,8 @@ func main() {
 	iters := flag.Int("iters", 0, "override LEBench iterations per test")
 	requests := flag.Int("requests", 0, "override datacenter-app request count")
 	seed := flag.Int64("seed", 1, "seed for scanner campaigns and fault injection")
+	jobs := flag.Int("jobs", 0, "cell-level worker pool size (0 = one per core); output is byte-identical at any value")
+	cellTimeout := flag.Duration("cell-timeout", time.Duration(0), "per-cell deadline within an experiment (0 = none)")
 	timeout := flag.Duration("timeout", time.Duration(0), "per-experiment deadline for supervised runs (0 = none)")
 	retries := flag.Int("retries", 1, "attempts per experiment under -exp all (reseeded each retry)")
 	state := flag.String("state", "perspective-sim.state.json", "checkpoint file for -exp all")
@@ -61,6 +68,8 @@ func main() {
 	}
 	opt.Seed = *seed
 	opt.Timeout = *timeout
+	opt.Jobs = *jobs
+	opt.CellTimeout = *cellTimeout
 
 	w := os.Stdout
 	if *exp == "all" {

@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/schemes"
+)
+
+// Regression for the Fig92 baseline-ordering hazard: normalization used to
+// happen inline during a sequential sweep, so any cell evaluated before the
+// UNSAFE baseline of its test kept Normalized == 0. The two-pass
+// normalizeLEBench must be immune to cell order.
+func TestNormalizeLEBenchOrderIndependent(t *testing.T) {
+	cells := []LEBenchCell{
+		// Baseline deliberately NOT first.
+		{Test: "getpid", Scheme: schemes.DOM, Cycles: 1800},
+		{Test: "getpid", Scheme: schemes.Unsafe, Cycles: 1000},
+		{Test: "getpid", Scheme: schemes.Perspective, Cycles: 1100},
+	}
+	normalizeLEBench(cells)
+	want := map[schemes.Kind]float64{
+		schemes.DOM: 1.8, schemes.Unsafe: 1.0, schemes.Perspective: 1.1,
+	}
+	for _, c := range cells {
+		if c.Normalized != want[c.Scheme] {
+			t.Errorf("%v normalized = %g, want %g", c.Scheme, c.Normalized, want[c.Scheme])
+		}
+	}
+}
+
+func TestNormalizeLEBenchFailedBaseline(t *testing.T) {
+	cells := []LEBenchCell{
+		{Test: "getpid", Scheme: schemes.Unsafe, Err: "wedged"}, // Cycles == 0
+		{Test: "getpid", Scheme: schemes.DOM, Cycles: 1800},
+		{Test: "mmap", Scheme: schemes.Unsafe, Cycles: 500},
+		{Test: "mmap", Scheme: schemes.DOM, Cycles: 600},
+	}
+	normalizeLEBench(cells)
+	if cells[1].Normalized != 0 {
+		t.Errorf("cell without baseline normalized to %g, want 0", cells[1].Normalized)
+	}
+	if cells[3].Normalized != 1.2 {
+		t.Errorf("healthy test poisoned by sibling's failed baseline: %g", cells[3].Normalized)
+	}
+}
+
+// End-to-end: a scheme list where UNSAFE is last (worst case for the old
+// inline normalization) still normalizes every cell.
+func TestFig92BaselineNotFirst(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig92 run")
+	}
+	o := QuickOptions()
+	o.LEBenchIters = 2
+	o.Schemes = []schemes.Kind{schemes.DOM, schemes.Unsafe} // baseline last
+	h := New(o)
+	cells, err := h.Fig92()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Err == "" && c.Normalized == 0 {
+			t.Errorf("%v/%s: Normalized == 0 despite clean measurement (Cycles=%g)",
+				c.Scheme, c.Test, c.Cycles)
+		}
+	}
+}
+
+func TestFig92MissingBaselineErrors(t *testing.T) {
+	o := QuickOptions()
+	o.Schemes = []schemes.Kind{schemes.DOM, schemes.Perspective}
+	h := New(o)
+	if _, err := h.Fig92(); !errors.Is(err, ErrMissingBaseline) {
+		t.Errorf("Fig92 without UNSAFE: err = %v, want ErrMissingBaseline", err)
+	}
+}
+
+func TestFig93MissingBaselineErrors(t *testing.T) {
+	o := QuickOptions()
+	o.Schemes = []schemes.Kind{schemes.Perspective}
+	h := New(o)
+	if _, err := h.Fig93(); !errors.Is(err, ErrMissingBaseline) {
+		t.Errorf("Fig93 without UNSAFE: err = %v, want ErrMissingBaseline", err)
+	}
+}

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/schemes"
+)
+
+// determinismOptions trims the grid so the Jobs=1/4/8 triple run stays fast
+// enough for -race, while still exercising every concurrent code path.
+func determinismOptions(jobs int) Options {
+	o := QuickOptions()
+	o.Schemes = []schemes.Kind{schemes.Unsafe, schemes.DOM, schemes.Perspective}
+	o.LEBenchIters = 3
+	o.AppRequests = 20
+	o.Jobs = jobs
+	return o
+}
+
+// renderAt builds a fresh harness at the given worker count and renders one
+// experiment. A fresh harness per call means the build cache (views, scans)
+// is repopulated under each concurrency level.
+func renderAt(t *testing.T, jobs int, run func(h *Harness, buf *bytes.Buffer) error) string {
+	t.Helper()
+	h := New(determinismOptions(jobs))
+	var buf bytes.Buffer
+	if err := run(h, &buf); err != nil {
+		t.Fatalf("jobs=%d: %v", jobs, err)
+	}
+	return buf.String()
+}
+
+// requireIdentical runs the experiment at Jobs=1, 4, and 8 and requires the
+// rendered reports to be byte-identical: worker count must never leak into
+// results (ISSUE: parallel evaluation engine determinism contract).
+func requireIdentical(t *testing.T, name string, run func(h *Harness, buf *bytes.Buffer) error) {
+	t.Helper()
+	base := renderAt(t, 1, run)
+	if base == "" {
+		t.Fatalf("%s: empty report at jobs=1", name)
+	}
+	for _, jobs := range []int{4, 8} {
+		if got := renderAt(t, jobs, run); got != base {
+			t.Errorf("%s: jobs=%d report differs from jobs=1\n--- jobs=1 ---\n%s\n--- jobs=%d ---\n%s",
+				name, jobs, base, jobs, got)
+		}
+	}
+}
+
+func TestDeterminismFig92AcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-jobs determinism sweep")
+	}
+	requireIdentical(t, "fig9.2", func(h *Harness, buf *bytes.Buffer) error {
+		cells, err := h.Fig92()
+		if err != nil {
+			return err
+		}
+		PrintFig92(buf, cells, h.Opt.Schemes)
+		return nil
+	})
+}
+
+func TestDeterminismFig93AcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-jobs determinism sweep")
+	}
+	requireIdentical(t, "fig9.3", func(h *Harness, buf *bytes.Buffer) error {
+		cells, err := h.Fig93()
+		if err != nil {
+			return err
+		}
+		PrintFig93(buf, cells, h.Opt.Schemes)
+		return nil
+	})
+}
+
+func TestDeterminismFaultSweepAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-jobs determinism sweep")
+	}
+	requireIdentical(t, "faultsweep", func(h *Harness, buf *bytes.Buffer) error {
+		rows, err := h.FaultSweep()
+		if err != nil {
+			return err
+		}
+		PrintFaultSweep(buf, rows)
+		return nil
+	})
+}

@@ -1,9 +1,16 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
+
+// ErrMissingBaseline reports that an experiment normalizing against the
+// UNSAFE baseline was configured without the UNSAFE scheme: no cell could
+// ever be normalized, so the experiment refuses to run rather than
+// silently emitting all-zero columns.
+var ErrMissingBaseline = errors.New("UNSAFE baseline scheme not in Options.Schemes")
 
 // CellErrors accumulates per-cell failures so one bad (scheme, test) pair no
 // longer discards an experiment's remaining measurements: experiments record

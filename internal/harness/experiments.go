@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -33,49 +34,98 @@ type LEBenchCell struct {
 }
 
 // Fig92 runs the LEBench suite under every scheme and returns normalized
-// latencies (Figure 9.2). A cell that fails is recorded with its error and
-// the sweep continues; the aggregate of failed cells is the returned error.
+// latencies (Figure 9.2). Cells fan out to the worker pool; a cell that
+// fails is recorded with its error and the sweep continues; the aggregate
+// of failed cells is the returned error. Normalization is a second pass
+// over the completed grid, so the UNSAFE baseline no longer has to run
+// before the cells it normalizes; if UNSAFE is not among the configured
+// schemes the figure cannot be normalized at all and Fig92 fails fast
+// with ErrMissingBaseline.
 func (h *Harness) Fig92() ([]LEBenchCell, error) {
+	if !hasScheme(h.Opt.Schemes, schemes.Unsafe) {
+		return nil, fmt.Errorf("fig9.2: %w", ErrMissingBaseline)
+	}
 	views, err := h.ViewsFor(h.Workloads()[0])
 	if err != nil {
 		return nil, fmt.Errorf("fig9.2: %w", err)
 	}
-	var cells []LEBenchCell
-	var cerrs CellErrors
-	base := map[string]float64{}
+	tests := lebench.Tests()
+	type cellID struct {
+		kind schemes.Kind
+		tst  lebench.Test
+	}
+	var ids []cellID
+	var specs []CellSpec
 	for _, kind := range h.Opt.Schemes {
-		for _, tst := range lebench.Tests() {
-			c := LEBenchCell{Test: tst.Name, Scheme: kind}
-			k, err := h.newMachine(kind, views.Select(kind))
-			if err != nil {
-				c.Err = err.Error()
-				cerrs.Addf("fig9.2/%v/%s: %w", kind, tst.Name, err)
-				cells = append(cells, c)
-				continue
-			}
-			res, err := lebench.RunTest(k, tst, h.Opt.LEBenchIters)
-			c.HandlerFaults = k.Stats.HandlerFaults
-			if err != nil {
-				c.Err = err.Error()
-				cerrs.Addf("fig9.2/%v/%s: %w", kind, tst.Name, err)
-				cells = append(cells, c)
-				continue
-			}
-			if c.HandlerFaults > 0 {
-				c.Err = fmt.Sprintf("%d handler faults", c.HandlerFaults)
-				cerrs.Addf("fig9.2/%v/%s: %d handler faults", kind, tst.Name, c.HandlerFaults)
-			}
-			c.Cycles = res.CyclesPerIter
-			if kind == schemes.Unsafe {
-				base[tst.Name] = res.CyclesPerIter
-			}
-			if b := base[tst.Name]; b > 0 {
-				c.Normalized = res.CyclesPerIter / b
-			}
-			cells = append(cells, c)
+		for _, tst := range tests {
+			ids = append(ids, cellID{kind, tst})
+			specs = append(specs, CellSpec{"fig9.2", kind.String(), tst.Name})
 		}
 	}
+	res, errs := runGrid(h, specs, func(_ context.Context, i int, _ CellSpec) (LEBenchCell, error) {
+		id := ids[i]
+		c := LEBenchCell{Test: id.tst.Name, Scheme: id.kind}
+		k, err := h.newMachine(id.kind, views.Select(id.kind))
+		if err != nil {
+			return c, err
+		}
+		r, err := lebench.RunTest(k, id.tst, h.Opt.LEBenchIters)
+		c.HandlerFaults = k.Stats.HandlerFaults
+		if err != nil {
+			return c, err
+		}
+		c.Cycles = r.CyclesPerIter
+		if c.HandlerFaults > 0 {
+			// Soft failure: the measurement stands, but the cell is flagged.
+			return c, fmt.Errorf("%d handler faults", c.HandlerFaults)
+		}
+		return c, nil
+	})
+	cells := make([]LEBenchCell, 0, len(specs))
+	var cerrs CellErrors
+	for i := range specs {
+		c := res[i]
+		if c.Test == "" { // panic or timeout left a zero cell: restore labels
+			c.Test, c.Scheme = ids[i].tst.Name, ids[i].kind
+		}
+		if errs[i] != nil {
+			if c.Err == "" {
+				c.Err = errs[i].Error()
+			}
+			cerrs.Addf("fig9.2/%v/%s: %w", ids[i].kind, ids[i].tst.Name, errs[i])
+		}
+		cells = append(cells, c)
+	}
+	normalizeLEBench(cells)
 	return cells, cerrs.Err()
+}
+
+// normalizeLEBench computes Normalized for every measured cell against the
+// UNSAFE baseline of its test — a pass over the completed grid, immune to
+// the order cells were evaluated in. Cells without a usable baseline (the
+// UNSAFE cell for that test failed) keep Normalized == 0.
+func normalizeLEBench(cells []LEBenchCell) {
+	base := map[string]float64{}
+	for _, c := range cells {
+		if c.Scheme == schemes.Unsafe && c.Cycles > 0 {
+			base[c.Test] = c.Cycles
+		}
+	}
+	for i := range cells {
+		if b := base[cells[i].Test]; b > 0 && cells[i].Cycles > 0 {
+			cells[i].Normalized = cells[i].Cycles / b
+		}
+	}
+}
+
+// hasScheme reports whether kinds contains k.
+func hasScheme(kinds []schemes.Kind, k schemes.Kind) bool {
+	for _, kk := range kinds {
+		if kk == k {
+			return true
+		}
+	}
+	return false
 }
 
 // SchemeAverages reduces Fig92 cells to per-scheme mean normalized latency.
@@ -162,63 +212,144 @@ type AppCell struct {
 // Fig93 measures datacenter-application throughput per scheme (Figure 9.3).
 // Userspace think-time is fixed per app from the UNSAFE run so that the
 // kernel-time fraction matches §7 and defense overhead dilutes into
-// end-to-end throughput exactly as on real hardware.
+// end-to-end throughput exactly as on real hardware. The grid runs in two
+// parallel phases — the UNSAFE baseline cells first (they define each
+// app's userspace think-time), then every other scheme — so no cell's
+// result ever depends on which cells happened to run before it.
 func (h *Harness) Fig93() ([]AppCell, error) {
-	var cells []AppCell
-	var cerrs CellErrors
+	if !hasScheme(h.Opt.Schemes, schemes.Unsafe) {
+		return nil, fmt.Errorf("fig9.3: %w", ErrMissingBaseline)
+	}
+	var wls []Workload
 	for _, w := range h.Workloads() {
-		if w.App == nil {
-			continue
-		}
-		views, err := h.ViewsFor(w)
-		if err != nil {
-			cerrs.Addf("fig9.3/%s: %w", w.Name, err)
-			continue
-		}
-		var userCycles, baseTotal float64
-		for _, kind := range h.Opt.Schemes {
-			c := AppCell{App: w.Name, Scheme: kind}
-			fail := func(err error) {
-				c.Err = err.Error()
-				cerrs.Addf("fig9.3/%v/%s: %w", kind, w.Name, err)
-				cells = append(cells, c)
-			}
-			k, err := h.newMachine(kind, views.Select(kind))
-			if err != nil {
-				fail(err)
-				continue
-			}
-			conn, err := apps.Dial(*w.App, k)
-			if err != nil {
-				fail(err)
-				continue
-			}
-			kc, err := conn.Serve(h.Opt.AppRequests)
-			c.HandlerFaults = k.Stats.HandlerFaults
-			if err != nil {
-				fail(err)
-				continue
-			}
-			if c.HandlerFaults > 0 {
-				c.Err = fmt.Sprintf("%d handler faults", c.HandlerFaults)
-				cerrs.Addf("fig9.3/%v/%s: %d handler faults", kind, w.Name, c.HandlerFaults)
-			}
-			if kind == schemes.Unsafe {
-				userCycles = w.App.UserCyclesPerReq(kc)
-			}
-			total := kc + userCycles
-			c.KernelCycles, c.TotalCycles = kc, total
-			c.RPS = CPUFreqHz / total
-			if kind == schemes.Unsafe {
-				baseTotal = total
-			}
-			if baseTotal > 0 {
-				c.NormThroughput = baseTotal / total
-			}
-			cells = append(cells, c)
+		if w.App != nil {
+			wls = append(wls, w)
 		}
 	}
+	type cellID struct {
+		kind schemes.Kind
+		w    Workload
+	}
+	runPhase := func(ids []cellID, specs []CellSpec) ([]AppCell, []error) {
+		return runGrid(h, specs, func(_ context.Context, i int, _ CellSpec) (AppCell, error) {
+			return h.appCell(ids[i].kind, ids[i].w)
+		})
+	}
+
+	// Phase 1: UNSAFE baselines, one cell per app.
+	var baseIDs []cellID
+	var baseSpecs []CellSpec
+	for _, w := range wls {
+		baseIDs = append(baseIDs, cellID{schemes.Unsafe, w})
+		baseSpecs = append(baseSpecs, CellSpec{"fig9.3", schemes.Unsafe.String(), w.Name})
+	}
+	baseCells, baseErrs := runPhase(baseIDs, baseSpecs)
+
+	// Phase 2: every remaining (scheme, app) cell.
+	var ids []cellID
+	var specs []CellSpec
+	for _, w := range wls {
+		for _, kind := range h.Opt.Schemes {
+			if kind == schemes.Unsafe {
+				continue
+			}
+			ids = append(ids, cellID{kind, w})
+			specs = append(specs, CellSpec{"fig9.3", kind.String(), w.Name})
+		}
+	}
+	restCells, restErrs := runPhase(ids, specs)
+
+	// Reassemble in canonical (app, scheme) order and aggregate errors.
+	byKey := map[[2]string]int{}
+	for i, id := range ids {
+		byKey[[2]string{id.w.Name, id.kind.String()}] = i
+	}
+	var cells []AppCell
+	var cerrs CellErrors
+	collect := func(c AppCell, err error, kind schemes.Kind, w Workload) AppCell {
+		if c.App == "" { // panic or timeout left a zero cell: restore labels
+			c.App, c.Scheme = w.Name, kind
+		}
+		if err != nil {
+			if c.Err == "" {
+				c.Err = err.Error()
+			}
+			cerrs.Addf("fig9.3/%v/%s: %w", kind, w.Name, err)
+		}
+		return c
+	}
+	for wi, w := range wls {
+		for _, kind := range h.Opt.Schemes {
+			if kind == schemes.Unsafe {
+				cells = append(cells, collect(baseCells[wi], baseErrs[wi], kind, w))
+				continue
+			}
+			i := byKey[[2]string{w.Name, kind.String()}]
+			cells = append(cells, collect(restCells[i], restErrs[i], kind, w))
+		}
+	}
+	normalizeApps(cells, wls)
 	return cells, cerrs.Err()
+}
+
+// appCell measures one (scheme, app) cell: kernel cycles per request only.
+// Totals, RPS and normalization are derived afterwards from the UNSAFE
+// baseline in normalizeApps.
+func (h *Harness) appCell(kind schemes.Kind, w Workload) (AppCell, error) {
+	c := AppCell{App: w.Name, Scheme: kind}
+	views, err := h.ViewsFor(w)
+	if err != nil {
+		return c, err
+	}
+	k, err := h.newMachine(kind, views.Select(kind))
+	if err != nil {
+		return c, err
+	}
+	conn, err := apps.Dial(*w.App, k)
+	if err != nil {
+		return c, err
+	}
+	kc, err := conn.Serve(h.Opt.AppRequests)
+	c.HandlerFaults = k.Stats.HandlerFaults
+	if err != nil {
+		return c, err
+	}
+	c.KernelCycles = kc
+	if c.HandlerFaults > 0 {
+		return c, fmt.Errorf("%d handler faults", c.HandlerFaults)
+	}
+	return c, nil
+}
+
+// normalizeApps derives per-app userspace think-time from the UNSAFE cell
+// and fills TotalCycles, RPS and NormThroughput for every measured cell.
+// Apps whose UNSAFE cell failed keep zero think-time and normalization,
+// exactly as when the sequential path's baseline run failed.
+func normalizeApps(cells []AppCell, wls []Workload) {
+	userCycles := map[string]float64{}
+	baseTotal := map[string]float64{}
+	appByName := map[string]*apps.App{}
+	for i := range wls {
+		appByName[wls[i].Name] = wls[i].App
+	}
+	for _, c := range cells {
+		if c.Scheme == schemes.Unsafe && c.KernelCycles > 0 {
+			uc := appByName[c.App].UserCyclesPerReq(c.KernelCycles)
+			userCycles[c.App] = uc
+			baseTotal[c.App] = c.KernelCycles + uc
+		}
+	}
+	for i := range cells {
+		c := &cells[i]
+		if c.KernelCycles <= 0 {
+			continue
+		}
+		c.TotalCycles = c.KernelCycles + userCycles[c.App]
+		c.RPS = CPUFreqHz / c.TotalCycles
+		if b := baseTotal[c.App]; b > 0 {
+			c.NormThroughput = b / c.TotalCycles
+		}
+	}
 }
 
 // PrintFig93 renders the throughput figure.
@@ -276,23 +407,49 @@ type SurfaceRow struct {
 	DynFuncs    int
 }
 
-// Table81 computes attack-surface reduction per workload (Table 8.1).
+// Table81 computes attack-surface reduction per workload (Table 8.1),
+// building the per-workload views in parallel.
 func (h *Harness) Table81() ([]SurfaceRow, error) {
-	var rows []SurfaceRow
-	for _, w := range h.Workloads() {
+	wls := h.Workloads()
+	specs := workloadSpecs("table8.1", wls)
+	rows, errs := runGrid(h, specs, func(_ context.Context, i int, _ CellSpec) (SurfaceRow, error) {
+		w := wls[i]
 		v, err := h.ViewsFor(w)
 		if err != nil {
-			return nil, fmt.Errorf("table8.1/%s: %w", w.Name, err)
+			return SurfaceRow{}, err
 		}
-		rows = append(rows, SurfaceRow{
+		return SurfaceRow{
 			Workload:    w.Name,
 			StaticPct:   isvgen.SurfaceOf(h.Img, v.Static).ReductionPct(),
 			DynamicPct:  isvgen.SurfaceOf(h.Img, v.Dynamic).ReductionPct(),
 			StaticFuncs: v.Static.NumFuncs(),
 			DynFuncs:    v.Dynamic.NumFuncs(),
-		})
+		}, nil
+	})
+	if err := firstCellErr(specs, errs); err != nil {
+		return nil, err
 	}
 	return rows, nil
+}
+
+// workloadSpecs builds one CellSpec per workload for an experiment.
+func workloadSpecs(exp string, wls []Workload) []CellSpec {
+	specs := make([]CellSpec, len(wls))
+	for i, w := range wls {
+		specs[i] = CellSpec{Experiment: exp, Workload: w.Name}
+	}
+	return specs
+}
+
+// firstCellErr wraps the first failed cell's error for experiments whose
+// contract is all-or-nothing (they historically aborted on first failure).
+func firstCellErr(specs []CellSpec, errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("%s: %w", specs[i], err)
+		}
+	}
+	return nil
 }
 
 // PrintTable81 renders Table 8.1.
@@ -316,24 +473,28 @@ type GadgetRow struct {
 	Blocked [3][3]float64
 }
 
-// Table82 computes gadget reduction per workload and ISV variant.
+// Table82 computes gadget reduction per workload and ISV variant, one
+// parallel cell per workload.
 func (h *Harness) Table82() ([]GadgetRow, int, error) {
 	mdsT, portT, cacheT := h.Img.GadgetCensus()
-	var rows []GadgetRow
-	for _, w := range h.Workloads() {
-		v, err := h.ViewsFor(w)
+	wls := h.Workloads()
+	specs := workloadSpecs("table8.2", wls)
+	rows, errs := runGrid(h, specs, func(_ context.Context, i int, _ CellSpec) (GadgetRow, error) {
+		v, err := h.ViewsFor(wls[i])
 		if err != nil {
-			return nil, 0, fmt.Errorf("table8.2/%s: %w", w.Name, err)
+			return GadgetRow{}, err
 		}
-		var row GadgetRow
-		row.Workload = w.Name
-		for i, res := range []*isvgen.Result{v.Static, v.Dynamic, v.Plus} {
+		row := GadgetRow{Workload: wls[i].Name}
+		for vi, res := range []*isvgen.Result{v.Static, v.Dynamic, v.Plus} {
 			m, p, c := isvgen.GadgetCount(h.Img, res)
-			row.Blocked[i][0] = isvgen.BlockedPct(m, mdsT)
-			row.Blocked[i][1] = isvgen.BlockedPct(p, portT)
-			row.Blocked[i][2] = isvgen.BlockedPct(c, cacheT)
+			row.Blocked[vi][0] = isvgen.BlockedPct(m, mdsT)
+			row.Blocked[vi][1] = isvgen.BlockedPct(p, portT)
+			row.Blocked[vi][2] = isvgen.BlockedPct(c, cacheT)
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err := firstCellErr(specs, errs); err != nil {
+		return nil, 0, err
 	}
 	return rows, mdsT + portT + cacheT, nil
 }
@@ -364,22 +525,28 @@ type SpeedupRow struct {
 }
 
 // Fig91 measures the scanner's discovery-rate speedup from ISV bounding.
+// The unbounded campaign is memoized on the harness and shared by every
+// cell; each workload's bounded campaign runs as its own parallel cell
+// with a seed derived from the workload identity.
 func (h *Harness) Fig91() ([]SpeedupRow, error) {
-	whole := h.Graph.WholeKernelClosure()
-	unbounded := scanner.Scan(h.Img, whole, h.Opt.Seed)
-	var rows []SpeedupRow
-	for _, w := range h.Workloads() {
-		v, err := h.ViewsFor(w)
+	unbounded := h.WholeKernelScan()
+	wls := h.Workloads()
+	specs := workloadSpecs("fig9.1", wls)
+	rows, errs := runGrid(h, specs, func(_ context.Context, i int, spec CellSpec) (SpeedupRow, error) {
+		v, err := h.ViewsFor(wls[i])
 		if err != nil {
-			return nil, fmt.Errorf("fig9.1/%s: %w", w.Name, err)
+			return SpeedupRow{}, err
 		}
-		bounded := scanner.Scan(h.Img, v.Dynamic.Funcs, h.Opt.Seed)
-		rows = append(rows, SpeedupRow{
-			Workload:  w.Name,
+		bounded := scanner.Scan(h.Img, v.Dynamic.Funcs, spec.seed(h.Opt.Seed))
+		return SpeedupRow{
+			Workload:  wls[i].Name,
 			Unbounded: unbounded.Rate(),
 			Bounded:   bounded.Rate(),
 			Speedup:   scanner.Speedup(bounded, unbounded),
-		})
+		}, nil
+	})
+	if err := firstCellErr(specs, errs); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -410,39 +577,52 @@ type FenceRow struct {
 }
 
 // Table101 measures the fence breakdown by running each workload under the
-// three Perspective variants.
+// three Perspective variants, one parallel cell per (workload, variant).
 func (h *Harness) Table101() ([]FenceRow, error) {
-	var rows []FenceRow
 	variants := []schemes.Kind{schemes.PerspectiveStatic, schemes.Perspective, schemes.PerspectivePlus}
+	type cellID struct {
+		w    Workload
+		kind schemes.Kind
+	}
+	var ids []cellID
+	var specs []CellSpec
 	for _, w := range h.Workloads() {
+		for _, kind := range variants {
+			ids = append(ids, cellID{w, kind})
+			specs = append(specs, CellSpec{"table10.1", kind.String(), w.Name})
+		}
+	}
+	rows, errs := runGrid(h, specs, func(_ context.Context, i int, _ CellSpec) (FenceRow, error) {
+		w, kind := ids[i].w, ids[i].kind
 		views, err := h.ViewsFor(w)
 		if err != nil {
-			return nil, fmt.Errorf("table10.1/%s: %w", w.Name, err)
+			return FenceRow{}, err
 		}
-		for _, kind := range variants {
-			k, err := h.newMachine(kind, views.Select(kind))
-			if err != nil {
-				return nil, fmt.Errorf("table10.1/%v/%s: %w", kind, w.Name, err)
-			}
-			if err := h.runWorkloadOnce(k, w); err != nil {
-				return nil, fmt.Errorf("table10.1/%v/%s: %w", kind, w.Name, err)
-			}
-			pol := k.Core.Policy.(*schemes.PerspectivePolicy)
-			st := pol.Stats
-			fences := float64(st.DSVFences + st.ISVFences)
-			insts := float64(k.Core.Stats.Insts)
-			row := FenceRow{Workload: w.Name, Variant: kind}
-			if fences > 0 {
-				row.ISVShare = float64(st.ISVFences) / fences
-				row.DSVShare = float64(st.DSVFences) / fences
-			}
-			if insts > 0 {
-				row.FencesPKI = 1000 * fences / insts
-				row.ISVPKI = 1000 * float64(st.ISVFences) / insts
-				row.DSVPKI = 1000 * float64(st.DSVFences) / insts
-			}
-			rows = append(rows, row)
+		k, err := h.newMachine(kind, views.Select(kind))
+		if err != nil {
+			return FenceRow{}, err
 		}
+		if err := h.runWorkloadOnce(k, w); err != nil {
+			return FenceRow{}, err
+		}
+		pol := k.Core.Policy.(*schemes.PerspectivePolicy)
+		st := pol.Stats
+		fences := float64(st.DSVFences + st.ISVFences)
+		insts := float64(k.Core.Stats.Insts)
+		row := FenceRow{Workload: w.Name, Variant: kind}
+		if fences > 0 {
+			row.ISVShare = float64(st.ISVFences) / fences
+			row.DSVShare = float64(st.DSVFences) / fences
+		}
+		if insts > 0 {
+			row.FencesPKI = 1000 * fences / insts
+			row.ISVPKI = 1000 * float64(st.ISVFences) / insts
+			row.DSVPKI = 1000 * float64(st.DSVFences) / insts
+		}
+		return row, nil
+	})
+	if err := firstCellErr(specs, errs); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -471,7 +651,10 @@ type PoCRow struct {
 }
 
 // PoCMatrix runs the Table 4.1 proof-of-concept attacks under UNSAFE and
-// full Perspective, demonstrating §8's claims executably.
+// full Perspective, demonstrating §8's claims executably. Each (attack,
+// scheme) pair is one parallel cell; the permissive and gadget-hardened
+// views the Perspective cells install are memoized on the harness so the
+// pool builds them once and shares them.
 func (h *Harness) PoCMatrix() ([]PoCRow, error) {
 	type atk struct {
 		name string
@@ -485,46 +668,58 @@ func (h *Harness) PoCMatrix() ([]PoCRow, error) {
 		{"passive-spectre-v2", attack.PassiveSpectreV2},
 	}
 	secret := []byte("S3CR")
-	var rows []PoCRow
+	type cellID struct {
+		a    atk
+		kind schemes.Kind
+	}
+	var ids []cellID
+	var specs []CellSpec
 	for _, a := range atks {
 		for _, kind := range []schemes.Kind{schemes.Unsafe, schemes.Perspective} {
-			k, err := kernel.New(kernel.DefaultConfig(), h.Img)
-			if err != nil {
-				return nil, fmt.Errorf("poc/%v/%s: %w", kind, a.name, err)
-			}
-			victim, err := k.CreateProcess("victim")
-			if err != nil {
-				return nil, fmt.Errorf("poc/%v/%s: victim: %w", kind, a.name, err)
-			}
-			attacker, err := k.CreateProcess("attacker")
-			if err != nil {
-				return nil, fmt.Errorf("poc/%v/%s: attacker: %w", kind, a.name, err)
-			}
-			if kind.IsPerspective() {
-				// The victim's ISV excludes the disclosure gadgets (either
-				// via dynamic profiling or ISV++ auditing); the attacker
-				// keeps a permissive view — DSVs protect against it anyway.
-				all := isvgen.FromFuncs(h.Img, allFuncIDs(h.Img))
-				hardened := isvgen.Harden(h.Img, all, gadgetIDs(h.Img))
-				k.InstallISV(victim, hardened.View)
-				k.InstallISV(attacker, all.View)
-				k.Core.Policy = schemes.New(kind, k.DSV, k.ISV)
-			}
-			secretVA, err := attack.PlantSecret(k, victim, secret)
-			if err != nil {
-				return nil, fmt.Errorf("poc/%v/%s: plant: %w", kind, a.name, err)
-			}
-			res, err := a.run(k, victim, attacker, secretVA, len(secret))
-			if err != nil {
-				return nil, fmt.Errorf("poc/%v/%s: %w", kind, a.name, err)
-			}
-			leaked := res.Match(secret)
-			rows = append(rows, PoCRow{
-				Attack: a.name, Scheme: kind,
-				Leaked: leaked, Total: len(secret),
-				Blocked: leaked == 0,
-			})
+			ids = append(ids, cellID{a, kind})
+			specs = append(specs, CellSpec{"poc", kind.String(), a.name})
 		}
+	}
+	rows, errs := runGrid(h, specs, func(_ context.Context, i int, _ CellSpec) (PoCRow, error) {
+		a, kind := ids[i].a, ids[i].kind
+		k, err := kernel.New(kernel.DefaultConfig(), h.Img)
+		if err != nil {
+			return PoCRow{}, err
+		}
+		victim, err := k.CreateProcess("victim")
+		if err != nil {
+			return PoCRow{}, fmt.Errorf("victim: %w", err)
+		}
+		attacker, err := k.CreateProcess("attacker")
+		if err != nil {
+			return PoCRow{}, fmt.Errorf("attacker: %w", err)
+		}
+		if kind.IsPerspective() {
+			// The victim's ISV excludes the disclosure gadgets (either
+			// via dynamic profiling or ISV++ auditing); the attacker
+			// keeps a permissive view — DSVs protect against it anyway.
+			all, hardened := h.pocViews()
+			k.InstallISV(victim, hardened.View)
+			k.InstallISV(attacker, all.View)
+			k.Core.Policy = schemes.New(kind, k.DSV, k.ISV)
+		}
+		secretVA, err := attack.PlantSecret(k, victim, secret)
+		if err != nil {
+			return PoCRow{}, fmt.Errorf("plant: %w", err)
+		}
+		res, err := a.run(k, victim, attacker, secretVA, len(secret))
+		if err != nil {
+			return PoCRow{}, err
+		}
+		leaked := res.Match(secret)
+		return PoCRow{
+			Attack: a.name, Scheme: kind,
+			Leaked: leaked, Total: len(secret),
+			Blocked: leaked == 0,
+		}, nil
+	})
+	if err := firstCellErr(specs, errs); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

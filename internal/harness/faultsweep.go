@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -62,25 +63,45 @@ func (r FaultSweepRow) verdict() string {
 // FaultSweep runs the fault-injection campaign: for every scheme and fault
 // rate it boots a fresh machine, arms a seeded injector on the view caches
 // and the core, attaches the invariant checker, drives a slice of LEBench
-// plus a live Spectre-v1 PoC, and reports what broke. Campaign seeds derive
-// deterministically from Options.Seed so a sweep replays exactly.
+// plus a live Spectre-v1 PoC, and reports what broke. Campaigns fan out to
+// the worker pool; each campaign's seed derives from (Options.Seed,
+// "faultsweep", scheme, rate) via CellSeed — never from loop indices or
+// execution order — so the sweep replays exactly at any worker count.
 func (h *Harness) FaultSweep() ([]FaultSweepRow, error) {
 	views, err := h.ViewsFor(h.Workloads()[0])
 	if err != nil {
 		return nil, fmt.Errorf("faultsweep: views: %w", err)
 	}
-	var rows []FaultSweepRow
-	for si, kind := range FaultSweepSchemes {
-		for ri, rate := range FaultSweepRates {
-			seed := h.Opt.Seed*1_000_003 + int64(si)*101 + int64(ri)
-			row, err := h.faultCampaign(kind, views, rate, seed)
-			if err != nil {
-				// A faulted machine may fail its workload outright (e.g. a
-				// dropped fill starving a handler); that is a result, not an
-				// abort — record it and keep sweeping.
-				row.Err = fmt.Sprintf("faultsweep/%v/rate=%g: %v", kind, rate, err)
-			}
-			rows = append(rows, row)
+	type cellID struct {
+		kind schemes.Kind
+		rate float64
+	}
+	var ids []cellID
+	var specs []CellSpec
+	for _, kind := range FaultSweepSchemes {
+		for _, rate := range FaultSweepRates {
+			ids = append(ids, cellID{kind, rate})
+			specs = append(specs, CellSpec{"faultsweep", kind.String(), fmt.Sprintf("rate=%g", rate)})
+		}
+	}
+	rows, errs := runGrid(h, specs, func(_ context.Context, i int, spec CellSpec) (FaultSweepRow, error) {
+		id := ids[i]
+		row, err := h.faultCampaign(id.kind, views, id.rate, spec.seed(h.Opt.Seed))
+		if err != nil {
+			// A faulted machine may fail its workload outright (e.g. a
+			// dropped fill starving a handler); that is a result, not an
+			// abort — record it and keep sweeping.
+			row.Err = fmt.Sprintf("faultsweep/%v/rate=%g: %v", id.kind, id.rate, err)
+		}
+		return row, nil
+	})
+	for i := range rows {
+		if errs[i] != nil && rows[i].Err == "" {
+			// Panic or per-cell timeout: the runner synthesized the error
+			// and the campaign row is zero — label it so the report shows
+			// which cell died.
+			rows[i].Scheme, rows[i].Rate = ids[i].kind, ids[i].rate
+			rows[i].Err = errs[i].Error()
 		}
 	}
 	return rows, nil

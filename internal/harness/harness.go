@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/apps"
@@ -35,10 +36,18 @@ type Options struct {
 	AppRequests int
 	// Schemes lists the configurations to evaluate.
 	Schemes []schemes.Kind
-	// Seed drives the scanner campaigns and the fault injector.
+	// Seed drives the scanner campaigns and the fault injector. Every
+	// per-cell seed derives from it via CellSeed, so a run replays exactly
+	// at any worker count.
 	Seed int64
 	// Timeout bounds each supervised experiment; zero means no deadline.
 	Timeout time.Duration
+	// Jobs is the cell-level worker-pool size; <=0 means one worker per
+	// core (runtime.GOMAXPROCS(0)). Output is byte-identical at any value.
+	Jobs int
+	// CellTimeout bounds each individual (scheme, workload) cell; zero
+	// means no per-cell deadline.
+	CellTimeout time.Duration
 }
 
 // QuickOptions runs everything at unit-test scale in a few seconds.
@@ -72,13 +81,33 @@ type Workload struct {
 }
 
 // Harness carries the shared immutable state: the image, its call graph,
-// and cached per-workload views.
+// and a memoized build cache of derived inputs (per-workload views, the
+// whole-kernel scan, the PoC view pair). The cache is concurrency-safe —
+// parallel cells share one build of each input instead of rebuilding it —
+// and everything it hands out is immutable after construction.
 type Harness struct {
 	Opt   Options
 	Img   *kimage.Image
 	Graph *callgraph.Graph
 
-	views map[string]*Views
+	mu    sync.Mutex            // guards views map shape
+	views map[string]*viewsOnce // keyed once-cells, one per workload
+
+	wholeScan     scanner.Report // Fig 9.1's unbounded campaign
+	wholeScanOnce sync.Once
+
+	pocAll      *isvgen.Result // PoC matrix: permissive view
+	pocHardened *isvgen.Result // PoC matrix: gadget-hardened view
+	pocOnce     sync.Once
+}
+
+// viewsOnce is one workload's memoized view build: the first caller runs
+// the profiling machine and scan, every later (possibly concurrent) caller
+// gets the same immutable result.
+type viewsOnce struct {
+	once sync.Once
+	v    *Views
+	err  error
 }
 
 // Views bundles a workload's three ISV flavours.
@@ -107,7 +136,7 @@ func New(opt Options) *Harness {
 		Opt:   opt,
 		Img:   img,
 		Graph: callgraph.New(img),
-		views: make(map[string]*Views),
+		views: make(map[string]*viewsOnce),
 	}
 }
 
@@ -158,11 +187,25 @@ func (h *Harness) newMachine(kind schemes.Kind, view *isvgen.Result) (*kernel.Ke
 // ViewsFor generates (and caches) a workload's static, dynamic and ISV++
 // views. The dynamic view comes from an actual profiling run with the
 // tracing subsystem enabled; ISV++ removes the functions a Kasper-style
-// scan of the dynamic view flags (§5.4).
+// scan of the dynamic view flags (§5.4). The build is memoized per
+// workload behind a keyed once: concurrent cells needing the same
+// workload's views block on one build and share the immutable result.
+// Errors memoize too — a failed build is a harness-level fact; the
+// supervisor retries on a fresh harness.
 func (h *Harness) ViewsFor(w Workload) (*Views, error) {
-	if v, ok := h.views[w.Name]; ok {
-		return v, nil
+	h.mu.Lock()
+	c, ok := h.views[w.Name]
+	if !ok {
+		c = &viewsOnce{}
+		h.views[w.Name] = c
 	}
+	h.mu.Unlock()
+	c.once.Do(func() { c.v, c.err = h.buildViews(w) })
+	return c.v, c.err
+}
+
+// buildViews performs the actual (expensive) view construction.
+func (h *Harness) buildViews(w Workload) (*Views, error) {
 	static := isvgen.Static(h.Img, h.Graph, w.Profile)
 
 	// Profiling run: unprotected machine, tracing on for every container.
@@ -180,13 +223,34 @@ func (h *Harness) ViewsFor(w Workload) (*Views, error) {
 	}
 	dynamic := dynamicUnion(h.Img, k.Trace, ctxs)
 
-	// Audit the dynamic view and cut the findings out (ISV++).
-	rep := scanner.Scan(h.Img, dynamic.Funcs, h.Opt.Seed)
+	// Audit the dynamic view and cut the findings out (ISV++). The
+	// campaign seed derives from the workload identity, not from build
+	// order, so concurrent view construction cannot change the audit.
+	rep := scanner.Scan(h.Img, dynamic.Funcs, CellSeed(h.Opt.Seed, "views", w.Name))
 	plus := isvgen.Harden(h.Img, dynamic, rep.GadgetFuncIDs())
 
-	v := &Views{Static: static, Dynamic: dynamic, Plus: plus}
-	h.views[w.Name] = v
-	return v, nil
+	return &Views{Static: static, Dynamic: dynamic, Plus: plus}, nil
+}
+
+// WholeKernelScan memoizes Fig 9.1's unbounded Kasper campaign — every
+// workload's speedup row compares against the same shared scan.
+func (h *Harness) WholeKernelScan() scanner.Report {
+	h.wholeScanOnce.Do(func() {
+		h.wholeScan = scanner.Scan(h.Img, h.Graph.WholeKernelClosure(),
+			CellSeed(h.Opt.Seed, "fig9.1", "unbounded"))
+	})
+	return h.wholeScan
+}
+
+// pocViews memoizes the PoC matrix's view pair (a permissive whole-kernel
+// view and its gadget-hardened counterpart) so attack cells share one
+// build instead of regenerating both per cell.
+func (h *Harness) pocViews() (all, hardened *isvgen.Result) {
+	h.pocOnce.Do(func() {
+		h.pocAll = isvgen.FromFuncs(h.Img, allFuncIDs(h.Img))
+		h.pocHardened = isvgen.Harden(h.Img, h.pocAll, gadgetIDs(h.Img))
+	})
+	return h.pocAll, h.pocHardened
 }
 
 // dynamicUnion merges traces from all of a workload's containers.

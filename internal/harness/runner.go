@@ -1,0 +1,167 @@
+// The cell-level parallel execution engine. Every experiment's
+// (scheme × workload) grid is a set of independent cells: each cell boots
+// its own machine against the harness's shared immutable inputs (kernel
+// image, call graph, memoized per-workload ISVs), so cells can run on a
+// bounded worker pool without coordinating. Results are reassembled in
+// spec order, and every per-cell PRNG seed derives from (Options.Seed,
+// experiment, scheme, workload) rather than loop state, so a run's output
+// is byte-identical at any worker count — Jobs only changes wall-clock.
+package harness
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// CellSpec names one cell of an experiment grid for seeds, error messages
+// and timeouts. Fields beyond Experiment are optional; empty parts are
+// omitted from the rendered label.
+type CellSpec struct {
+	Experiment string
+	Scheme     string
+	Workload   string
+}
+
+// String renders "experiment/scheme/workload", omitting empty parts.
+func (s CellSpec) String() string {
+	out := s.Experiment
+	for _, p := range []string{s.Scheme, s.Workload} {
+		if p != "" {
+			out += "/" + p
+		}
+	}
+	return out
+}
+
+// CellSeed derives a deterministic per-cell PRNG seed from the base seed
+// and the cell's identity. Two cells of the same run never share a seed
+// stream, and a cell's seed never depends on which cells ran before it —
+// the property that lets the worker pool reorder execution freely without
+// changing any verdict.
+func CellSeed(base int64, parts ...string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return int64(h.Sum64())
+}
+
+// seed derives a cell's seed from the harness base seed.
+func (s CellSpec) seed(base int64) int64 {
+	return CellSeed(base, s.Experiment, s.Scheme, s.Workload)
+}
+
+// RunnerOptions bounds cell execution.
+type RunnerOptions struct {
+	// Jobs is the worker-pool size; <=0 means runtime.GOMAXPROCS(0).
+	Jobs int
+	// CellTimeout bounds each cell; zero means no per-cell deadline. A
+	// timed-out cell's goroutine is abandoned (the simulator has no
+	// preemption points) — it keeps mutating only its own machine, never
+	// the shared harness state, so the pool safely moves on.
+	CellTimeout time.Duration
+}
+
+// runnerOptions derives the pool configuration from the harness options.
+func (h *Harness) runnerOptions() RunnerOptions {
+	return RunnerOptions{Jobs: h.Opt.Jobs, CellTimeout: h.Opt.CellTimeout}
+}
+
+// RunCells fans the specs out to a bounded worker pool and reassembles
+// results in spec order: results[i] and errs[i] always belong to specs[i],
+// whatever order the pool ran them in. fn receives the spec index so
+// callers can carry typed per-cell payloads in a parallel slice. Each cell
+// runs with panic recovery (a panic becomes that cell's error, labeled
+// with the spec) and an optional per-cell deadline; one wedged or crashing
+// cell never stalls or poisons its siblings. Cancelling ctx stops
+// dispatch: not-yet-started cells fail fast with the context error.
+func RunCells[T any](ctx context.Context, opt RunnerOptions, specs []CellSpec,
+	fn func(ctx context.Context, i int, spec CellSpec) (T, error)) ([]T, []error) {
+	n := len(specs)
+	results := make([]T, n)
+	errs := make([]error, n)
+	jobs := opt.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := range specs {
+			results[i], errs[i] = runCell(ctx, opt.CellTimeout, i, specs[i], fn)
+		}
+		return results, errs
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = runCell(ctx, opt.CellTimeout, i, specs[i], fn)
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, errs
+}
+
+// runCell executes one cell with panic recovery and an optional deadline.
+func runCell[T any](ctx context.Context, timeout time.Duration, i int, spec CellSpec,
+	fn func(ctx context.Context, i int, spec CellSpec) (T, error)) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, fmt.Errorf("%s: %w", spec, err)
+	}
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{zero, fmt.Errorf("%s: panic: %v\n%s", spec, r, debug.Stack())}
+			}
+		}()
+		v, err := fn(ctx, i, spec)
+		ch <- outcome{v, err}
+	}()
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-timer:
+		return zero, fmt.Errorf("%s: deadline exceeded (%v)", spec, timeout)
+	case <-ctx.Done():
+		return zero, fmt.Errorf("%s: %w", spec, ctx.Err())
+	}
+}
+
+// runGrid is the harness-level convenience over RunCells: background
+// context and the pool configuration from Options.
+func runGrid[T any](h *Harness, specs []CellSpec,
+	fn func(ctx context.Context, i int, spec CellSpec) (T, error)) ([]T, []error) {
+	return RunCells(context.Background(), h.runnerOptions(), specs, fn)
+}

@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func specN(n int) []CellSpec {
+	specs := make([]CellSpec, n)
+	for i := range specs {
+		specs[i] = CellSpec{Experiment: "t", Workload: fmt.Sprintf("w%d", i)}
+	}
+	return specs
+}
+
+func TestRunCellsOrderIndependent(t *testing.T) {
+	// Results land at their spec index no matter how the pool interleaves.
+	for _, jobs := range []int{1, 3, 16} {
+		specs := specN(20)
+		res, errs := RunCells(context.Background(), RunnerOptions{Jobs: jobs}, specs,
+			func(_ context.Context, i int, _ CellSpec) (int, error) {
+				time.Sleep(time.Duration((i*7)%5) * time.Millisecond)
+				return i * i, nil
+			})
+		for i := range specs {
+			if errs[i] != nil {
+				t.Fatalf("jobs=%d cell %d: %v", jobs, i, errs[i])
+			}
+			if res[i] != i*i {
+				t.Errorf("jobs=%d res[%d] = %d, want %d", jobs, i, res[i], i*i)
+			}
+		}
+	}
+}
+
+func TestRunCellsPanicIsolation(t *testing.T) {
+	specs := specN(8)
+	var completed atomic.Int32
+	res, errs := RunCells(context.Background(), RunnerOptions{Jobs: 4}, specs,
+		func(_ context.Context, i int, _ CellSpec) (string, error) {
+			if i == 3 {
+				panic("cell exploded")
+			}
+			completed.Add(1)
+			return "ok", nil
+		})
+	if errs[3] == nil || !strings.Contains(errs[3].Error(), "cell exploded") {
+		t.Errorf("panic not captured: %v", errs[3])
+	}
+	if !strings.Contains(errs[3].Error(), "t/w3") {
+		t.Errorf("panic error not labeled with spec: %v", errs[3])
+	}
+	if res[3] != "" {
+		t.Errorf("panicked cell has non-zero result %q", res[3])
+	}
+	if got := completed.Load(); got != 7 {
+		t.Errorf("%d sibling cells completed, want 7", got)
+	}
+	for i := range specs {
+		if i != 3 && errs[i] != nil {
+			t.Errorf("sibling cell %d poisoned: %v", i, errs[i])
+		}
+	}
+}
+
+func TestRunCellsCellTimeout(t *testing.T) {
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	specs := specN(3)
+	res, errs := RunCells(context.Background(),
+		RunnerOptions{Jobs: 2, CellTimeout: 30 * time.Millisecond}, specs,
+		func(_ context.Context, i int, _ CellSpec) (int, error) {
+			if i == 1 {
+				<-release // wedged cell
+			}
+			return i + 100, nil
+		})
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "deadline exceeded") {
+		t.Errorf("wedged cell not timed out: %v", errs[1])
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil || res[i] != i+100 {
+			t.Errorf("cell %d stalled by wedged sibling: res=%d err=%v", i, res[i], errs[i])
+		}
+	}
+}
+
+func TestRunCellsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	specs := specN(4)
+	_, errs := RunCells(ctx, RunnerOptions{Jobs: 2}, specs,
+		func(_ context.Context, i int, _ CellSpec) (int, error) { return i, nil })
+	for i := range specs {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Errorf("cell %d did not see cancellation: %v", i, errs[i])
+		}
+	}
+}
+
+func TestRunCellsErrorPassthrough(t *testing.T) {
+	sentinel := errors.New("boom")
+	specs := specN(2)
+	_, errs := RunCells(context.Background(), RunnerOptions{Jobs: 1}, specs,
+		func(_ context.Context, i int, _ CellSpec) (int, error) {
+			if i == 1 {
+				return 0, sentinel
+			}
+			return 0, nil
+		})
+	if !errors.Is(errs[1], sentinel) {
+		t.Errorf("fn error not passed through: %v", errs[1])
+	}
+	if errs[0] != nil {
+		t.Errorf("clean cell got error: %v", errs[0])
+	}
+}
+
+func TestCellSeedStableAndDistinct(t *testing.T) {
+	a := CellSeed(1, "fig9.2", "UNSAFE", "read")
+	if b := CellSeed(1, "fig9.2", "UNSAFE", "read"); a != b {
+		t.Errorf("seed not stable: %d vs %d", a, b)
+	}
+	seen := map[int64]string{}
+	for _, parts := range [][]string{
+		{"fig9.2", "UNSAFE", "read"},
+		{"fig9.2", "UNSAFE", "write"},
+		{"fig9.2", "FENCE", "read"},
+		{"faultsweep", "UNSAFE", "read"},
+		{"fig9.2", "UNSAFEread"}, // concatenation must not collide with split parts
+	} {
+		s := CellSeed(1, parts...)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("seed collision between %v and %s", parts, prev)
+		}
+		seen[s] = strings.Join(parts, "/")
+	}
+	if CellSeed(1, "x") == CellSeed(2, "x") {
+		t.Error("base seed ignored")
+	}
+}
+
+func TestCellSpecString(t *testing.T) {
+	for _, tc := range []struct {
+		spec CellSpec
+		want string
+	}{
+		{CellSpec{"fig9.2", "UNSAFE", "read"}, "fig9.2/UNSAFE/read"},
+		{CellSpec{Experiment: "table8.1", Workload: "LEBench"}, "table8.1/LEBench"},
+		{CellSpec{Experiment: "poc"}, "poc"},
+	} {
+		if got := tc.spec.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

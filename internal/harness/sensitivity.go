@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -22,67 +23,77 @@ type SensitivityRow struct {
 
 // Sensitivity runs the §9.2 analyses: view-cache hit rates, the
 // unknown-allocation ablation, slab fragmentation, and domain-reassignment
-// rates.
+// rates. Each workload's three-run ablation is one parallel cell.
 func (h *Harness) Sensitivity() ([]SensitivityRow, error) {
-	var rows []SensitivityRow
-	for _, w := range h.Workloads() {
-		views, err := h.ViewsFor(w)
-		if err != nil {
-			return nil, fmt.Errorf("sensitivity/%s: %w", w.Name, err)
-		}
-		run := func(blockUnknown, secureSlab bool) (*kernel.Kernel, float64, error) {
-			cfg := kernel.DefaultConfig()
-			cfg.SecureSlab = secureSlab
-			k, err := kernel.New(cfg, h.Img)
-			if err != nil {
-				return nil, 0, err
-			}
-			pol := schemes.NewPerspective(k.DSV, k.ISV, schemes.Perspective)
-			pol.BlockUnknown = blockUnknown
-			k.Core.Policy = pol
-			k.OnProcessCreate = func(t *kernel.Task) {
-				k.ISV.Install(t.Ctx(), views.Dynamic.View)
-			}
-			start := k.Core.Now()
-			if err := h.runWorkloadOnce(k, w); err != nil {
-				return nil, 0, err
-			}
-			return k, k.Core.Now() - start, nil
-		}
-
-		k, cyc, err := run(true, true)
-		if err != nil {
-			return nil, fmt.Errorf("sensitivity/%s: secure run: %w", w.Name, err)
-		}
-		_, cycNoUnk, err := run(false, true)
-		if err != nil {
-			return nil, fmt.Errorf("sensitivity/%s: no-unknown run: %w", w.Name, err)
-		}
-		kBase, _, err := run(true, false)
-		if err != nil {
-			return nil, fmt.Errorf("sensitivity/%s: baseline-slab run: %w", w.Name, err)
-		}
-
-		row := SensitivityRow{
-			Workload:     w.Name,
-			ISVHitRate:   k.ISV.Cache().Stats().HitRate(),
-			DSVHitRate:   k.DSV.Cache().Stats().HitRate(),
-			SlabUtil:     k.Slab.Utilization(),
-			BaseSlabUtil: kBase.Slab.Utilization(),
-		}
-		if cycNoUnk > 0 {
-			row.UnknownDeltaPct = 100 * (cyc - cycNoUnk) / cycNoUnk
-		}
-		st := k.Slab.Stats()
-		if st.Frees > 0 {
-			row.PageReturnPct = 100 * float64(st.PageReturns) / float64(st.Frees)
-		}
-		if cyc > 0 {
-			row.PageReturnsPS = float64(st.PageReturns) / (cyc / CPUFreqHz)
-		}
-		rows = append(rows, row)
+	wls := h.Workloads()
+	specs := workloadSpecs("sensitivity", wls)
+	rows, errs := runGrid(h, specs, func(_ context.Context, i int, _ CellSpec) (SensitivityRow, error) {
+		return h.sensitivityCell(wls[i])
+	})
+	if err := firstCellErr(specs, errs); err != nil {
+		return nil, err
 	}
 	return rows, nil
+}
+
+// sensitivityCell runs one workload's secure / no-unknown-blocking /
+// baseline-slab triplet and reduces it to a row.
+func (h *Harness) sensitivityCell(w Workload) (SensitivityRow, error) {
+	views, err := h.ViewsFor(w)
+	if err != nil {
+		return SensitivityRow{}, err
+	}
+	run := func(blockUnknown, secureSlab bool) (*kernel.Kernel, float64, error) {
+		cfg := kernel.DefaultConfig()
+		cfg.SecureSlab = secureSlab
+		k, err := kernel.New(cfg, h.Img)
+		if err != nil {
+			return nil, 0, err
+		}
+		pol := schemes.NewPerspective(k.DSV, k.ISV, schemes.Perspective)
+		pol.BlockUnknown = blockUnknown
+		k.Core.Policy = pol
+		k.OnProcessCreate = func(t *kernel.Task) {
+			k.ISV.Install(t.Ctx(), views.Dynamic.View)
+		}
+		start := k.Core.Now()
+		if err := h.runWorkloadOnce(k, w); err != nil {
+			return nil, 0, err
+		}
+		return k, k.Core.Now() - start, nil
+	}
+
+	k, cyc, err := run(true, true)
+	if err != nil {
+		return SensitivityRow{}, fmt.Errorf("secure run: %w", err)
+	}
+	_, cycNoUnk, err := run(false, true)
+	if err != nil {
+		return SensitivityRow{}, fmt.Errorf("no-unknown run: %w", err)
+	}
+	kBase, _, err := run(true, false)
+	if err != nil {
+		return SensitivityRow{}, fmt.Errorf("baseline-slab run: %w", err)
+	}
+
+	row := SensitivityRow{
+		Workload:     w.Name,
+		ISVHitRate:   k.ISV.Cache().Stats().HitRate(),
+		DSVHitRate:   k.DSV.Cache().Stats().HitRate(),
+		SlabUtil:     k.Slab.Utilization(),
+		BaseSlabUtil: kBase.Slab.Utilization(),
+	}
+	if cycNoUnk > 0 {
+		row.UnknownDeltaPct = 100 * (cyc - cycNoUnk) / cycNoUnk
+	}
+	st := k.Slab.Stats()
+	if st.Frees > 0 {
+		row.PageReturnPct = 100 * float64(st.PageReturns) / float64(st.Frees)
+	}
+	if cyc > 0 {
+		row.PageReturnsPS = float64(st.PageReturns) / (cyc / CPUFreqHz)
+	}
+	return row, nil
 }
 
 // PrintSensitivity renders the §9.2 analyses.

@@ -2,13 +2,14 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"runtime/debug"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -124,10 +125,13 @@ func Experiments() []Experiment {
 	}
 }
 
-// FindExperiment looks up a registry entry by name.
+// FindExperiment looks up a registry entry by name. Dots in registry names
+// are optional — "fig92" resolves to "fig9.2", "table101" to "table10.1" —
+// so CLI invocations don't have to remember the paper's punctuation.
 func FindExperiment(name string) (Experiment, bool) {
+	undot := func(s string) string { return strings.ReplaceAll(s, ".", "") }
 	for _, e := range Experiments() {
-		if e.Name == name {
+		if e.Name == name || undot(e.Name) == name {
 			return e, true
 		}
 	}
@@ -198,39 +202,24 @@ func saveCheckpoint(path, fp string, done map[string]ExpResult) error {
 }
 
 // runProtected executes one experiment attempt with panic recovery and an
-// optional deadline. The attempt runs in its own goroutine; on timeout the
-// goroutine is abandoned (the simulator has no preemption points) and the
-// caller must discard the harness it was mutating.
+// optional deadline, reusing the cell runner's protection machinery (an
+// experiment is a one-cell grid from the supervisor's point of view). On
+// timeout the attempt's goroutine is abandoned (the simulator has no
+// preemption points) and the caller must discard the harness it was
+// mutating.
 func runProtected(h *Harness, e Experiment, timeout time.Duration) (string, error) {
-	type outcome struct {
-		out string
-		err error
-	}
-	ch := make(chan outcome, 1)
-	go func() {
-		var buf bytes.Buffer
-		defer func() {
-			if r := recover(); r != nil {
-				ch <- outcome{buf.String(),
-					fmt.Errorf("%s: panic: %v\n%s", e.Name, r, debug.Stack())}
+	outs, errs := RunCells(context.Background(),
+		RunnerOptions{Jobs: 1, CellTimeout: timeout},
+		[]CellSpec{{Experiment: e.Name}},
+		func(_ context.Context, _ int, _ CellSpec) (string, error) {
+			var buf bytes.Buffer
+			err := e.Run(h, &buf)
+			if err != nil {
+				err = fmt.Errorf("%s: %w", e.Name, err)
 			}
-		}()
-		err := e.Run(h, &buf)
-		if err != nil {
-			err = fmt.Errorf("%s: %w", e.Name, err)
-		}
-		ch <- outcome{buf.String(), err}
-	}()
-	if timeout <= 0 {
-		o := <-ch
-		return o.out, o.err
-	}
-	select {
-	case o := <-ch:
-		return o.out, o.err
-	case <-time.After(timeout):
-		return "", fmt.Errorf("%s: deadline exceeded (%v)", e.Name, timeout)
-	}
+			return buf.String(), err
+		})
+	return outs[0], errs[0]
 }
 
 // SuperviseExperiments runs the given experiments under the supervisor:

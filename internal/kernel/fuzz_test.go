@@ -135,6 +135,94 @@ func TestSyscallChurn(t *testing.T) {
 	}
 }
 
+// FuzzSyscallSequence interprets the input as a syscall script (one op per
+// byte) against a Perspective-policy kernel and checks the same global
+// invariants as the churn test: no handler faults, no frame leaks beyond
+// slab caches, DSV ownership intact. The seed corpus runs on every
+// `go test -run=Fuzz -fuzztime=0` (the `make fuzzseed` CI gate); a real
+// fuzzing session (`go test -fuzz=FuzzSyscallSequence`) explores further.
+func FuzzSyscallSequence(f *testing.F) {
+	f.Add([]byte{0, 1, 3, 4, 2, 5, 6, 7, 8, 9})
+	f.Add([]byte{8, 8, 8, 8, 8, 8, 8, 8})             // fork storm
+	f.Add([]byte{1, 1, 1, 1, 2, 2, 2, 2, 1, 2})       // fd churn
+	f.Add([]byte{5, 5, 5, 6, 6, 6, 5, 6, 5, 6})       // map/unmap churn
+	f.Add([]byte{9, 9, 9, 9, 0, 9, 9, 9, 9})          // generated service chains
+	f.Add([]byte("interpret arbitrary bytes safely")) // arbitrary ops
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 300 {
+			script = script[:300]
+		}
+		k := newKernel(t)
+		k.Core.Policy = schemes.NewPerspective(k.DSV, k.ISV, schemes.Perspective)
+		p := mustProc(t, k, "fuzz")
+		freeBaseline := k.Buddy.FreePages()
+		buf, err := k.Syscall(p, kimage.NRMmap, 4096, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fds []uint64
+		var maps []uint64
+		for i, op := range script {
+			switch op % 10 {
+			case 0:
+				k.Syscall(p, kimage.NRGetpid)
+			case 1:
+				if fd, err := k.Syscall(p, kimage.NROpen); err == nil {
+					fds = append(fds, fd)
+				}
+			case 2:
+				if len(fds) > 0 {
+					k.Syscall(p, kimage.NRClose, fds[len(fds)-1])
+					fds = fds[:len(fds)-1]
+				}
+			case 3:
+				if len(fds) > 0 {
+					fd := fds[int(op/10)%len(fds)]
+					k.Rewind(p, int(fd))
+					k.Syscall(p, kimage.NRWrite, fd, buf, uint64(8+i%512))
+				}
+			case 4:
+				if len(fds) > 0 {
+					fd := fds[int(op/10)%len(fds)]
+					k.Rewind(p, int(fd))
+					k.Syscall(p, kimage.NRRead, fd, buf, 256)
+				}
+			case 5:
+				if va, err := k.Syscall(p, kimage.NRMmap, 2*memsim.PageSize, 1); err == nil {
+					maps = append(maps, va)
+				}
+			case 6:
+				if len(maps) > 0 {
+					k.Syscall(p, kimage.NRMunmap, maps[len(maps)-1], 2*memsim.PageSize)
+					maps = maps[:len(maps)-1]
+				}
+			case 7:
+				k.Syscall(p, kimage.NRSchedYield)
+			case 8:
+				if pid, err := k.Syscall(p, kimage.NRFork); err == nil {
+					k.ExitPID(int(pid))
+				}
+			case 9:
+				k.Syscall(p, kimage.NRGenBase+int(op/10)%20)
+			}
+		}
+		if k.Stats.HandlerFaults != 0 {
+			t.Fatalf("script %v: %d handler faults (last: %+v)",
+				script, k.Stats.HandlerFaults, k.LastFault())
+		}
+		if !k.DSV.Owns(p.Ctx(), p.TaskVA()) {
+			t.Error("task lost DSV ownership of its task struct")
+		}
+		// Unmapping the scratch buffer and live maps, then exiting, must
+		// return the frames (slab pools may cache a few empty pages).
+		k.Syscall(p, kimage.NRExit)
+		leak := int64(freeBaseline) - int64(k.Buddy.FreePages())
+		if leak > 8 {
+			t.Errorf("script leaked %d pages", leak)
+		}
+	})
+}
+
 // TestForkStorm exercises deep process churn: repeated fork+exit cycles must
 // neither leak frames nor corrupt the parent.
 func TestForkStorm(t *testing.T) {

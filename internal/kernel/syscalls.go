@@ -201,12 +201,9 @@ func (k *Kernel) dispatch(t *Task, nr int, a [6]uint64) (uint64, ctxMarshal, err
 		parentPages := t.AS.MappedUserPages()
 		if len(parentPages) > 0 {
 			// Pick one parent/child page pair for the idempotent timing
-			// copy; iterate once per copied page.
-			var va, pfn uint64
-			for v, p := range parentPages {
-				va, pfn = v, p
-				break
-			}
+			// copy (the lowest-VA page, so the choice is deterministic);
+			// iterate once per copied page.
+			va, pfn := parentPages[0].VA, parentPages[0].PFN
 			cpfn, _ := child.AS.Lookup(va)
 			iters := uint64(len(parentPages))
 			if cap := k.Cfg.TimingCopyCapWords / 512; cap > 0 && iters > cap*8 {
@@ -562,15 +559,17 @@ func (k *Kernel) doFork(t *Task, thread bool) (*Task, error) {
 		child.nextFD = t.nextFD
 		return child, nil
 	}
-	for va, pfn := range t.AS.MappedUserPages() {
-		cpfn, err := k.allocUserPage(child, va)
+	for _, pm := range t.AS.MappedUserPages() {
+		cpfn, err := k.allocUserPage(child, pm.VA)
 		if err != nil {
 			return nil, err
 		}
-		k.Phys.CopyFrame(cpfn, pfn)
+		k.Phys.CopyFrame(cpfn, pm.PFN)
 	}
-	// Duplicate descriptors (shared file objects).
-	for fd, f := range t.files {
+	// Duplicate descriptors (shared file objects) in fd order — a map
+	// range here would vary the kernel-write sequence between runs.
+	for _, fd := range t.sortedFDs() {
+		f := t.files[fd]
 		f.refs++
 		child.files[fd] = f
 		k.writeKernel(child.fdtVA()+kimage.FDTArrayOff+uint64(8*fd), f.StructVA())

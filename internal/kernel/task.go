@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cgroup"
 	"repro/internal/isv"
@@ -75,6 +76,18 @@ func (t *Task) fdtVA() uint64 { return memsim.DirectMapVA(t.fdtPFN * memsim.Page
 
 // ReplicaVA exposes the per-process replica page (tests).
 func (t *Task) ReplicaVA() uint64 { return t.replicaVA }
+
+// sortedFDs returns the task's open descriptors in ascending order — fork
+// and exit iterate descriptors while touching kernel memory, and a map
+// range would vary that sequence (and the resulting timing) between runs.
+func (t *Task) sortedFDs() []int {
+	fds := make([]int, 0, len(t.files))
+	for fd := range t.files {
+		fds = append(fds, fd)
+	}
+	sort.Ints(fds)
+	return fds
+}
 
 // CreateProcess boots a new process in the named container (cgroup); a new
 // cgroup is created if the name is new. Perspective per-process setup
@@ -321,12 +334,12 @@ func (k *Kernel) Exit(t *Task) {
 	if t.State == TaskDead {
 		return
 	}
-	for fd := range t.files {
+	for _, fd := range t.sortedFDs() {
 		k.closeFD(t, fd)
 	}
 	if !t.sharesAS {
-		for va := range t.AS.MappedUserPages() {
-			k.freeUserPage(t, va)
+		for _, pm := range t.AS.MappedUserPages() {
+			k.freeUserPage(t, pm.VA)
 		}
 		t.AS.ReleasePageTables()
 	}

@@ -9,14 +9,20 @@ import (
 
 var testImg = kimage.MustBuild(kimage.TestSpec())
 
+func newMachine(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	k, err := kernel.New(kernel.DefaultConfig(), testImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
 func TestAllTestsRun(t *testing.T) {
 	for _, tst := range Tests() {
 		tst := tst
 		t.Run(tst.Name, func(t *testing.T) {
-			k, err := kernel.New(kernel.DefaultConfig(), testImg)
-			if err != nil {
-				t.Fatal(err)
-			}
+			k := newMachine(t)
 			res, err := RunTest(k, tst, 3)
 			if err != nil {
 				t.Fatal(err)
@@ -24,9 +30,110 @@ func TestAllTestsRun(t *testing.T) {
 			if res.CyclesPerIter <= 0 {
 				t.Errorf("cycles = %f", res.CyclesPerIter)
 			}
+			if res.Iters != 3 {
+				t.Errorf("iters = %d, want 3", res.Iters)
+			}
+			if res.Name != tst.Name {
+				t.Errorf("result name %q, want %q", res.Name, tst.Name)
+			}
 			if k.Stats.HandlerFaults != 0 {
 				t.Errorf("handler faults = %d", k.Stats.HandlerFaults)
 			}
 		})
+	}
+}
+
+// Total ROI cycles must grow with iteration count for every test: cycles
+// are accumulated per iteration, so a test whose total does not increase
+// from 2 to 6 iterations is not actually executing its Iter body.
+func TestTotalCyclesMonotoneInIters(t *testing.T) {
+	for _, tst := range Tests() {
+		tst := tst
+		t.Run(tst.Name, func(t *testing.T) {
+			// Fresh machine per iteration count: state from a previous ROI
+			// (warm caches, surviving descriptors) must not leak between runs.
+			lo, err := RunTest(newMachine(t), tst, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hi, err := RunTest(newMachine(t), tst, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loTotal := lo.CyclesPerIter * float64(lo.Iters)
+			hiTotal := hi.CyclesPerIter * float64(hi.Iters)
+			if hiTotal <= loTotal {
+				t.Errorf("total cycles not monotone: 2 iters = %.0f, 6 iters = %.0f",
+					loTotal, hiTotal)
+			}
+		})
+	}
+}
+
+// Same machine config + same test + same iteration count must measure
+// identical cycles — the per-test determinism contract the harness's
+// parallel runner relies on.
+func TestRunTestDeterministic(t *testing.T) {
+	for _, tst := range Tests() {
+		tst := tst
+		t.Run(tst.Name, func(t *testing.T) {
+			a, err := RunTest(newMachine(t), tst, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunTest(newMachine(t), tst, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.CyclesPerIter != b.CyclesPerIter {
+				t.Errorf("same-config runs differ: %.3f vs %.3f cycles/iter",
+					a.CyclesPerIter, b.CyclesPerIter)
+			}
+		})
+	}
+}
+
+// The suite covers the paper's microbenchmark families; a silently dropped
+// test would shrink Fig 9.2 without failing anything else.
+func TestSuiteCoverage(t *testing.T) {
+	names := map[string]bool{}
+	for _, tst := range Tests() {
+		if names[tst.Name] {
+			t.Errorf("duplicate test name %q", tst.Name)
+		}
+		names[tst.Name] = true
+		if tst.Setup == nil || tst.Iter == nil {
+			t.Errorf("%s: missing Setup or Iter", tst.Name)
+		}
+	}
+	if len(names) < 10 {
+		t.Errorf("suite has only %d tests", len(names))
+	}
+	for _, want := range []string{"ref", "read", "big-fork", "context-switch"} {
+		if !names[want] {
+			t.Errorf("suite missing %q", want)
+		}
+	}
+}
+
+// Profile must cover every syscall family the tests exercise — otherwise
+// ISV generation would exclude handlers the suite actually enters, turning
+// every Perspective cell into a fault storm.
+func TestProfileNonEmptyAndDistinct(t *testing.T) {
+	p := Profile()
+	if len(p) < 20 {
+		t.Errorf("profile has only %d syscalls", len(p))
+	}
+	seen := map[int]bool{}
+	for _, nr := range p {
+		if seen[nr] {
+			t.Errorf("duplicate syscall %d in profile", nr)
+		}
+		seen[nr] = true
+	}
+	for _, nr := range []int{kimage.NRGetpid, kimage.NRRead, kimage.NRFork, kimage.NRPageFault} {
+		if !seen[nr] {
+			t.Errorf("profile missing syscall %d", nr)
+		}
 	}
 }

@@ -293,15 +293,25 @@ func (as *AddrSpace) Brk(newBrk uint64) (oldBrk uint64) {
 // BrkRange reports the heap range.
 func (as *AddrSpace) BrkRange() (start, end uint64) { return as.brkStart, as.brk }
 
+// PageMapping is one mapped user page: virtual address and its frame.
+type PageMapping struct {
+	VA  uint64
+	PFN uint64
+}
+
 // MappedUserPages walks the page tables collecting every mapped user page —
-// fork uses this to copy the parent's memory.
-func (as *AddrSpace) MappedUserPages() map[uint64]uint64 {
-	out := make(map[uint64]uint64)
-	as.walk(as.rootPFN, 3, 0, out)
+// fork uses this to copy the parent's memory. Pages are returned in
+// ascending VA order (the walk visits table indexes in order), so callers
+// that allocate or free frames while iterating do so deterministically —
+// a map here would randomize buddy-allocator ordering and hence timing
+// between otherwise identical runs.
+func (as *AddrSpace) MappedUserPages() []PageMapping {
+	var out []PageMapping
+	as.walk(as.rootPFN, 3, 0, &out)
 	return out
 }
 
-func (as *AddrSpace) walk(table uint64, level int, vaBase uint64, out map[uint64]uint64) {
+func (as *AddrSpace) walk(table uint64, level int, vaBase uint64, out *[]PageMapping) {
 	for i := uint64(0); i < ptesPerPage; i++ {
 		e := as.pte(table, i)
 		if e&pteP == 0 {
@@ -310,7 +320,7 @@ func (as *AddrSpace) walk(table uint64, level int, vaBase uint64, out map[uint64
 		va := vaBase | i<<(12+9*uint(level))
 		if level == 0 {
 			if memsim.IsUser(va) {
-				out[va] = e >> 12
+				*out = append(*out, PageMapping{VA: va, PFN: e >> 12})
 			}
 			continue
 		}

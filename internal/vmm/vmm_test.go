@@ -193,9 +193,12 @@ func TestMappedUserPages(t *testing.T) {
 	if len(got) != len(want) {
 		t.Fatalf("got %d pages, want %d", len(got), len(want))
 	}
-	for va, pfn := range want {
-		if got[va] != pfn {
-			t.Errorf("va %#x -> %d, want %d", va, got[va], pfn)
+	for i, pm := range got {
+		if want[pm.VA] != pm.PFN {
+			t.Errorf("va %#x -> %d, want %d", pm.VA, pm.PFN, want[pm.VA])
+		}
+		if i > 0 && got[i-1].VA >= pm.VA {
+			t.Errorf("pages not in ascending VA order: %#x before %#x", got[i-1].VA, pm.VA)
 		}
 	}
 }
