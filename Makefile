@@ -5,7 +5,11 @@ GO ?= go
 # drops combined coverage below this.
 COVER_MIN ?= 70
 
-.PHONY: build test vet race fuzzseed cover check bench clean
+.PHONY: build test vet race fuzzseed cover check bench benchsmoke clean
+
+# Packages carrying the host-perf microbenchmarks (cache access, vmm
+# translate, cpu issue loop, kernel syscall round-trip).
+BENCH_PKGS = ./internal/cache/ ./internal/vmm/ ./internal/cpu/ ./internal/kernel/
 
 build:
 	$(GO) build ./...
@@ -31,12 +35,19 @@ cover:
 		'/^total:/ { sub(/%/, "", $$3); printf "coverage: %s%% (floor %s%%)\n", $$3, min; \
 		if ($$3+0 < min+0) { print "FAIL: coverage below floor"; exit 1 } }'
 
-# check is the CI gate: vet + race-enabled tests + fuzz seed corpus.
-check: vet race fuzzseed
+# check is the CI gate: vet + race-enabled tests + fuzz seed corpus +
+# a one-iteration benchmark smoke run (guards the bench layer against
+# bit-rot without paying for real measurement).
+check: vet race fuzzseed benchsmoke
 
+# bench produces BENCH_hostperf.json: micro ns/op per hot function plus an
+# end-to-end `-exp all` cells/sec and simulated-MIPS measurement.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) run ./cmd/benchreport -out BENCH_hostperf.json
+
+benchsmoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x $(BENCH_PKGS)
 
 clean:
-	rm -f perspective-sim.state.json cover.out
+	rm -f perspective-sim.state.json cover.out BENCH_hostperf.json
 	$(GO) clean ./...

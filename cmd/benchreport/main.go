@@ -1,0 +1,243 @@
+// Command benchreport runs the host-performance benchmark layer and writes
+// BENCH_hostperf.json, the perf trajectory future PRs regress against.
+//
+// Three measurements go into the report:
+//
+//  1. micro: the per-package Go benchmarks (cache access, vmm translate,
+//     cpu issue loop, kernel syscall round-trip) via `go test -bench`,
+//     parsed into name → ns/op, B/op, allocs/op.
+//  2. end_to_end: a supervised `-exp all` run at a fixed worker count,
+//     reported as wall seconds and experiment cells per second.
+//  3. sim_mips: a syscall-storm probe on one machine, reporting simulated
+//     (committed) instructions per host second.
+//
+// All numbers are host-side only; nothing here affects simulated output.
+//
+// Usage:
+//
+//	benchreport                         # full report, ~1 min
+//	benchreport -benchtime 10x -out -   # quick, to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/kernel"
+	"repro/internal/kimage"
+)
+
+// Report is the BENCH_hostperf.json schema. Additive changes only: perf
+// dashboards and regression checks key on these names.
+type Report struct {
+	Schema    int       `json:"schema"`
+	GoVersion string    `json:"go_version"`
+	Benchtime string    `json:"benchtime"`
+	Micro     []Micro   `json:"micro"`
+	EndToEnd  *EndToEnd `json:"end_to_end,omitempty"`
+	SimProbe  *SimProbe `json:"sim_probe,omitempty"`
+}
+
+// Micro is one Go benchmark result.
+type Micro struct {
+	Name        string  `json:"name"` // package/BenchmarkName
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// EndToEnd is the supervised full-experiment run.
+type EndToEnd struct {
+	Jobs        int     `json:"jobs"`
+	Experiments int     `json:"experiments"`
+	Cells       uint64  `json:"cells"`
+	WallSeconds float64 `json:"wall_seconds"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+}
+
+// SimProbe is the simulated-instruction throughput measurement.
+type SimProbe struct {
+	SimInsts    uint64  `json:"sim_insts"`
+	WallSeconds float64 `json:"wall_seconds"`
+	SimMIPS     float64 `json:"sim_mips"`
+}
+
+var benchPkgs = []string{
+	"./internal/cache/", "./internal/vmm/", "./internal/cpu/", "./internal/kernel/",
+}
+
+func main() {
+	// Match perspective-sim's GC tuning so the end-to-end measurement
+	// reflects what the CLI actually ships.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(300)
+	}
+	out := flag.String("out", "BENCH_hostperf.json", "output path (- for stdout)")
+	benchtime := flag.String("benchtime", "", "go test -benchtime passthrough (empty = go default)")
+	jobs := flag.Int("jobs", 1, "worker-pool size for the end-to-end run")
+	skipE2E := flag.Bool("skip-e2e", false, "skip the -exp all end-to-end measurement")
+	flag.Parse()
+
+	rep := Report{Schema: 1, GoVersion: runtime.Version(), Benchtime: *benchtime}
+
+	micro, err := runMicro(*benchtime)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Micro = micro
+
+	if !*skipE2E {
+		e2e, probe, err := runEndToEnd(*jobs)
+		if err != nil {
+			fatal(err)
+		}
+		rep.EndToEnd = e2e
+		rep.SimProbe = probe
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	if *out == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d benchmarks", *out, len(rep.Micro))
+	if rep.EndToEnd != nil {
+		fmt.Printf(", %.2f cells/sec, %.2f sim MIPS", rep.EndToEnd.CellsPerSec, rep.SimProbe.SimMIPS)
+	}
+	fmt.Println()
+}
+
+var (
+	pkgRe   = regexp.MustCompile(`^pkg:\s+(\S+)`)
+	benchRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+	memRe   = regexp.MustCompile(`([0-9.]+) B/op\s+([0-9.]+) allocs/op`)
+)
+
+// runMicro shells out to `go test -bench` (the toolchain is a build-time
+// dependency of this repo anyway) and parses the standard output format.
+func runMicro(benchtime string) ([]Micro, error) {
+	args := []string{"test", "-run=^$", "-bench=.", "-benchmem"}
+	if benchtime != "" {
+		args = append(args, "-benchtime="+benchtime)
+	}
+	args = append(args, benchPkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outb, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	var micro []Micro
+	pkg := ""
+	for _, line := range strings.Split(string(outb), "\n") {
+		if m := pkgRe.FindStringSubmatch(line); m != nil {
+			pkg = strings.TrimPrefix(m[1], "repro/internal/")
+			continue
+		}
+		m := benchRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		mc := Micro{Name: pkg + "/" + m[1], NsPerOp: ns}
+		if mm := memRe.FindStringSubmatch(m[3]); mm != nil {
+			mc.BytesPerOp, _ = strconv.ParseFloat(mm[1], 64)
+			mc.AllocsPerOp, _ = strconv.ParseFloat(mm[2], 64)
+		}
+		micro = append(micro, mc)
+	}
+	if len(micro) == 0 {
+		return nil, fmt.Errorf("no benchmark lines parsed from go test output")
+	}
+	return micro, nil
+}
+
+// runEndToEnd times a supervised full-experiment pass (checkpointing
+// disabled: this is a measurement, not a resumable run), then reuses the
+// same harness's kernel image for a syscall-storm MIPS probe.
+func runEndToEnd(jobs int) (*EndToEnd, *SimProbe, error) {
+	opt := harness.QuickOptions()
+	opt.Jobs = jobs
+	cells0 := harness.CellsRun()
+	start := time.Now()
+	results, err := harness.Supervise(opt, harness.SupervisorOptions{Retries: 1}, io.Discard)
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return nil, nil, fmt.Errorf("end-to-end run: %w", err)
+	}
+	cells := harness.CellsRun() - cells0
+	e2e := &EndToEnd{
+		Jobs:        jobs,
+		Experiments: len(results),
+		Cells:       cells,
+		WallSeconds: wall,
+		CellsPerSec: float64(cells) / wall,
+	}
+
+	probe, err := simProbe()
+	if err != nil {
+		return nil, nil, err
+	}
+	return e2e, probe, nil
+}
+
+// simProbe boots one machine on the quick-scale kernel image and drives a
+// syscall storm, reporting committed simulated instructions per host
+// second — the "simulated MIPS" figure of merit for the issue loop.
+func simProbe() (*SimProbe, error) {
+	h := harness.New(harness.QuickOptions())
+	k, err := kernel.New(kernel.DefaultConfig(), h.Img)
+	if err != nil {
+		return nil, err
+	}
+	defer k.Release()
+	p, err := k.CreateProcess("probe")
+	if err != nil {
+		return nil, err
+	}
+	buf, err := k.Syscall(p, kimage.NRMmap, 4096, 1)
+	if err != nil {
+		return nil, err
+	}
+	fd, err := k.Syscall(p, kimage.NROpen)
+	if err != nil {
+		return nil, err
+	}
+	insts0 := k.Core.Stats.Insts
+	start := time.Now()
+	for i := 0; i < 3000; i++ {
+		if _, err := k.Syscall(p, kimage.NRGetpid); err != nil {
+			return nil, err
+		}
+		k.Rewind(p, int(fd))
+		if _, err := k.Syscall(p, kimage.NRWrite, fd, buf, 256); err != nil {
+			return nil, err
+		}
+	}
+	wall := time.Since(start).Seconds()
+	insts := k.Core.Stats.Insts - insts0
+	return &SimProbe{SimInsts: insts, WallSeconds: wall, SimMIPS: float64(insts) / wall / 1e6}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}

@@ -24,12 +24,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/harness"
 )
 
 func main() {
+	// Each experiment cell boots a fresh 32MB machine, so the live heap
+	// cycles hard; the default GOGC=100 re-walks it after every boot. A
+	// higher target trades bounded extra memory for fewer collections —
+	// pure host-side tuning, honoured only if the user hasn't set GOGC.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(300)
+	}
 	exp := flag.String("exp", "all", "experiment to run (see -list)")
 	scale := flag.String("scale", "quick", "quick (fast, small kernel) or paper (28K-function kernel)")
 	iters := flag.Int("iters", 0, "override LEBench iterations per test")

@@ -1,0 +1,43 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkCacheAccess measures the simulator's hottest cache operation —
+// the visibility-point Access on an L1D-shaped cache — over a mixed
+// hit/miss address stream. The stream is fixed-seed so before/after
+// comparisons see identical work.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(DefaultL1D)
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		// 256 KB footprint: 8× the 32 KB cache, so the stream mixes
+		// capacity misses with re-reference hits.
+		addrs[i] = uint64(rng.Intn(1<<18)) &^ uint64(DefaultL1D.LineBytes-1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&4095], true)
+	}
+}
+
+// BenchmarkCacheLookup measures the read-only probe used on every
+// speculative load (L1Hit classification for Delay-on-Miss).
+func BenchmarkCacheLookup(b *testing.B) {
+	c := New(DefaultL1D)
+	rng := rand.New(rand.NewSource(2))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1<<18)) &^ uint64(DefaultL1D.LineBytes-1)
+	}
+	for _, a := range addrs {
+		c.Access(a, true)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(addrs[i&4095])
+	}
+}

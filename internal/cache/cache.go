@@ -61,14 +61,21 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
+// way is one line's metadata. tag holds the address tag + 1 so the zero
+// value is an invalid way; keeping tag and LRU stamp adjacent means a probe
+// touches one cache line of host memory per way instead of three slices.
+type way struct {
+	tag   uint64 // address tag + 1; 0 = invalid
+	stamp uint64 // LRU timestamp
+}
+
 // Cache is one set-associative array with true-LRU replacement.
 type Cache struct {
 	cfg       Config
 	lineShift uint
+	tagShift  uint // lineShift + log2(Sets), precomputed off the hot path
 	setMask   uint64
-	tags      []uint64
-	valid     []bool
-	stamp     []uint64 // LRU timestamps
+	ways      []way
 	clock     uint64
 	stats     Stats
 }
@@ -88,14 +95,12 @@ func New(cfg Config) *Cache {
 	for 1<<shift < cfg.LineBytes {
 		shift++
 	}
-	n := cfg.Sets * cfg.Ways
 	return &Cache{
 		cfg:       cfg,
 		lineShift: shift,
+		tagShift:  shift + log2(uint64(cfg.Sets)),
 		setMask:   uint64(cfg.Sets - 1),
-		tags:      make([]uint64, n),
-		valid:     make([]bool, n),
-		stamp:     make([]uint64, n),
+		ways:      make([]way, cfg.Sets*cfg.Ways),
 	}
 }
 
@@ -110,7 +115,7 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	line := addr >> c.lineShift
-	return int(line & c.setMask), line >> log2(uint64(c.cfg.Sets))
+	return int(line & c.setMask), addr >> c.tagShift
 }
 
 // log2 returns the base-2 logarithm of a power of two.
@@ -136,8 +141,8 @@ func (c *Cache) SetOf(addr uint64) int {
 func (c *Cache) Lookup(addr uint64) bool {
 	set, tag := c.index(addr)
 	base := set * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == tag {
+	for _, e := range c.ways[base : base+c.cfg.Ways] {
+		if e.tag == tag+1 {
 			return true
 		}
 	}
@@ -157,27 +162,25 @@ func (c *Cache) Access(addr uint64, updateLRU bool) bool {
 	var victimStamp uint64
 	hasInvalid := false
 	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
+		e := &c.ways[base+w]
+		if e.tag == tag+1 {
 			c.stats.Hits++
 			if updateLRU {
-				c.stamp[i] = c.clock
+				e.stamp = c.clock
 			}
 			return true
 		}
 		switch {
-		case !c.valid[i] && !hasInvalid:
-			victim, hasInvalid = i, true
-		case !hasInvalid && (victim == -1 || c.stamp[i] < victimStamp):
-			victim, victimStamp = i, c.stamp[i]
+		case e.tag == 0 && !hasInvalid:
+			victim, hasInvalid = base+w, true
+		case !hasInvalid && (victim == -1 || e.stamp < victimStamp):
+			victim, victimStamp = base+w, e.stamp
 		}
 	}
 	// Miss: fill. Even speculative fills happen on baseline hardware — this
 	// is the transmission step of every PoC in internal/attack.
 	c.stats.Fills++
-	c.valid[victim] = true
-	c.tags[victim] = tag
-	c.stamp[victim] = c.clock
+	c.ways[victim] = way{tag: tag + 1, stamp: c.clock}
 	return false
 }
 
@@ -187,10 +190,9 @@ func (c *Cache) Touch(addr uint64) {
 	set, tag := c.index(addr)
 	base := set * c.cfg.Ways
 	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
+		if e := &c.ways[base+w]; e.tag == tag+1 {
 			c.clock++
-			c.stamp[i] = c.clock
+			e.stamp = c.clock
 			return
 		}
 	}
@@ -201,9 +203,8 @@ func (c *Cache) Flush(addr uint64) {
 	set, tag := c.index(addr)
 	base := set * c.cfg.Ways
 	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
-			c.valid[i] = false
+		if e := &c.ways[base+w]; e.tag == tag+1 {
+			e.tag = 0
 			c.stats.Flushes++
 			return
 		}
@@ -213,8 +214,8 @@ func (c *Cache) Flush(addr uint64) {
 // InvalidateAll empties the cache (used to model the L1D flush mitigation
 // comparison and to reset between experiments).
 func (c *Cache) InvalidateAll() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.ways {
+		c.ways[i].tag = 0
 	}
 }
 

@@ -1,0 +1,50 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// benchProgram builds a loop body shaped like a syscall handler's hot
+// stretch: ALU work, loads and stores through the direct map, and a
+// backward branch. Returns the entry VA and retired-instruction count per
+// Run call.
+func benchWorld(b *testing.B) (*world, uint64) {
+	w := newWorld()
+	a := isa.NewAsm()
+	a.MovImm(isa.R2, 0)                 // i = 0
+	a.MovImm(isa.R3, 100)               // limit
+	a.MovImm(isa.R4, int64(dm(0x2000))) // buffer
+	a.Label("loop")
+	a.Load(isa.R5, isa.R4, 0)   // read
+	a.AddImm(isa.R5, isa.R5, 1) // bump
+	a.Store(isa.R4, 0, isa.R5)  // write back
+	a.AddImm(isa.R2, isa.R2, 1) // i++
+	a.Branch(isa.CLT, isa.R2, isa.R3, "loop")
+	a.Halt()
+	w.code.place(entry, a.MustBuild())
+	// One warm run so the bench loop measures a steady-state machine.
+	if res := w.core.Run(entry, 100000); res.Fault || res.Truncated {
+		b.Fatalf("warmup run: %+v", res)
+	}
+	return w, entry
+}
+
+// BenchmarkIssueLoop measures the per-instruction simulation loop itself —
+// fetch, decode dispatch, memory access, timing charge — over a tight
+// load/store loop. ns/op divided by ~503 retired instructions gives the
+// per-instruction host cost.
+func BenchmarkIssueLoop(b *testing.B) {
+	w, pc := benchWorld(b)
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res := w.core.Run(pc, 100000)
+		if res.Fault {
+			b.Fatal("fault")
+		}
+		insts += res.Insts
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/inst")
+}

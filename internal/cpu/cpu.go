@@ -64,9 +64,11 @@ func DefaultConfig() Config {
 }
 
 // CodeSource resolves instruction fetches. The kernel image and per-process
-// user code segments compose into one source.
+// user code segments compose into one source. A nil result is an unfetchable
+// address; the returned pointer aliases the source's immutable storage (the
+// core never writes through it), saving a struct copy per simulated fetch.
 type CodeSource interface {
-	FetchInst(va uint64) (isa.Inst, bool)
+	FetchInst(va uint64) *isa.Inst
 }
 
 // Tracer observes committed function entries; the ftrace-equivalent
@@ -231,6 +233,16 @@ type Core struct {
 	hasPendingCtx bool
 
 	lastFetchLine uint64
+
+	// acc is the scratch Access handed to Policy.OnTransmit. Policies only
+	// inspect it during the call (none retains the pointer), so reusing one
+	// field keeps the per-transmitter Access literal from escaping to the
+	// heap on every shadowed load/multiply.
+	acc Access
+	// tbuf and tstack are runTransient's store buffer and shadow call
+	// stack, hoisted here so a squash does not allocate.
+	tbuf   map[uint64]transientStore
+	tstack []uint64
 }
 
 // New builds a core around the given subsystems with an AllowAll policy.
@@ -362,8 +374,8 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 			res.Truncated = true
 			break
 		}
-		inst, ok := c.Code.FetchInst(pc)
-		if !ok || (!c.kernelMode && memsim.IsKernel(pc)) {
+		inst := c.Code.FetchInst(pc)
+		if inst == nil || (!c.kernelMode && memsim.IsKernel(pc)) {
 			// Unmapped, or user-mode fetch of kernel text (SMEP).
 			res.Fault = true
 			res.FaultPC = pc
@@ -382,18 +394,18 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 			c.commit(c.now)
 
 		case isa.OpALU:
-			startT := maxf(c.now, c.ready(inst.Rs1), c.ready(inst.Rs2))
+			startT := max(c.now, c.ready(inst.Rs1), c.ready(inst.Rs2))
 			lat := 1.0
 			if inst.AK == isa.AMul {
 				lat = float64(c.Cfg.MulLatency)
 				// A multiply is a Port-channel transmitter: under STT-like
 				// policies a tainted speculative multiply must wait.
 				if startT < c.specUntil {
-					a := Access{
+					c.acc = Access{
 						PC: pc, IsLoad: false, Ctx: c.ctx, Kernel: c.kernelMode,
 						AddrTainted: c.tainted(inst.Rs1, startT) || c.tainted(inst.Rs2, startT),
 					}
-					switch c.Policy.OnTransmit(&a) {
+					switch c.Policy.OnTransmit(&c.acc) {
 					case Block:
 						c.Stats.Fences++
 						c.Stats.FenceDelay += c.specUntil - startT
@@ -401,7 +413,7 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 						c.now += c.Cfg.FencePenalty
 					case BlockUntaint:
 						c.Stats.Fences++
-						if u := maxf(c.taintUntil[inst.Rs1], c.taintUntil[inst.Rs2]); u > startT {
+						if u := max(c.taintUntil[inst.Rs1], c.taintUntil[inst.Rs2]); u > startT {
 							c.Stats.FenceDelay += u - startT
 							startT = u
 						}
@@ -425,14 +437,14 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 					if inst.Rs2 == isa.R0 {
 						t2 = 0
 					}
-					c.taintUntil[inst.Rd] = maxf(t1, t2)
+					c.taintUntil[inst.Rd] = max(t1, t2)
 				}
 			}
 			c.commit(done)
 
 		case isa.OpLoad:
 			c.Stats.Loads++
-			startT := maxf(c.now, c.ready(inst.Rs1))
+			startT := max(c.now, c.ready(inst.Rs1))
 			va := c.reg(inst.Rs1) + uint64(inst.Imm)
 			pa, okA := c.Mem.Resolve(va, inst.Size)
 			if !okA {
@@ -443,12 +455,12 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 				break
 			}
 			if startT < c.specUntil {
-				a := Access{
+				c.acc = Access{
 					PC: pc, VA: va, IsLoad: true, Ctx: c.ctx, Kernel: c.kernelMode,
 					L1Hit:       c.H.L1D.Lookup(pa),
 					AddrTainted: c.tainted(inst.Rs1, startT),
 				}
-				switch c.Policy.OnTransmit(&a) {
+				switch c.Policy.OnTransmit(&c.acc) {
 				case Block:
 					c.Stats.Fences++
 					c.Stats.FenceDelay += c.specUntil - startT
@@ -465,7 +477,7 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 				}
 			}
 			lat, _ := c.H.AccessData(pa, true)
-			v, _ := c.Mem.Load(va, inst.Size)
+			v := c.Mem.LoadPA(pa, inst.Size)
 			done := startT + float64(lat)
 			c.setReg(inst.Rd, v)
 			if inst.Rd != isa.R0 {
@@ -482,23 +494,23 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 
 		case isa.OpStore:
 			c.Stats.Stores++
-			startT := maxf(c.now, c.ready(inst.Rs1), c.ready(inst.Rs2))
+			startT := max(c.now, c.ready(inst.Rs1), c.ready(inst.Rs2))
 			va := c.reg(inst.Rs1) + uint64(inst.Imm)
-			if !c.Mem.Store(va, inst.Size, c.reg(inst.Rs2)) {
+			pa, okA := c.Mem.Resolve(va, inst.Size)
+			if !okA {
 				res.Fault = true
 				res.FaultPC, res.FaultVA = pc, va
 				c.Stats.Faults++
 				stop = true
 				break
 			}
-			if pa, okA := c.Mem.Resolve(va, inst.Size); okA {
-				c.H.AccessData(pa, true)
-			}
+			c.Mem.StorePA(pa, inst.Size, c.reg(inst.Rs2))
+			c.H.AccessData(pa, true)
 			c.commit(startT + 1)
 
 		case isa.OpBranch:
 			c.Stats.Branches++
-			startT := maxf(c.now+float64(c.Cfg.ExecDelay), c.ready(inst.Rs1), c.ready(inst.Rs2))
+			startT := max(c.now+float64(c.Cfg.ExecDelay), c.ready(inst.Rs1), c.ready(inst.Rs2))
 			resolve := startT + 1
 			taken := isa.EvalCond(inst.CK, c.reg(inst.Rs1), c.reg(inst.Rs2))
 			predicted := c.BP.Cond.Predict(pc)
@@ -546,7 +558,7 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 
 		case isa.OpICall, isa.OpIJmp:
 			c.Stats.Branches++
-			startT := maxf(c.now+float64(c.Cfg.ExecDelay), c.ready(inst.Rs1))
+			startT := max(c.now+float64(c.Cfg.ExecDelay), c.ready(inst.Rs1))
 			resolve := startT + 1
 			actual := c.reg(inst.Rs1)
 			if c.specUntil < resolve {
@@ -625,7 +637,7 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 		case isa.OpFence:
 			// lfence: nothing younger may issue before all older work
 			// resolves.
-			c.now = maxf(c.now, c.specUntil, c.lastCommit)
+			c.now = max(c.now, c.specUntil, c.lastCommit)
 			c.commit(c.now)
 
 		case isa.OpHalt:
@@ -672,14 +684,4 @@ func (c *Core) transientBudget(resolve float64) int {
 		n = 0
 	}
 	return n
-}
-
-func maxf(vs ...float64) float64 {
-	m := vs[0]
-	for _, v := range vs[1:] {
-		if v > m {
-			m = v
-		}
-	}
-	return m
 }

@@ -12,10 +12,10 @@ import (
 
 // mapCode is a trivial CodeSource for tests: functions placed by hand.
 type mapCode struct {
-	m map[uint64]isa.Inst
+	m map[uint64]*isa.Inst
 }
 
-func newMapCode() *mapCode { return &mapCode{m: make(map[uint64]isa.Inst)} }
+func newMapCode() *mapCode { return &mapCode{m: make(map[uint64]*isa.Inst)} }
 
 // place links local labels to absolute VAs and installs the code.
 func (mc *mapCode) place(base uint64, insts []isa.Inst) {
@@ -24,13 +24,13 @@ func (mc *mapCode) place(base uint64, insts []isa.Inst) {
 			in.Target = base + in.Target*isa.InstBytes
 			in.Sym = ""
 		}
-		mc.m[base+uint64(i)*isa.InstBytes] = in
+		in := in
+		mc.m[base+uint64(i)*isa.InstBytes] = &in
 	}
 }
 
-func (mc *mapCode) FetchInst(va uint64) (isa.Inst, bool) {
-	in, ok := mc.m[va]
-	return in, ok
+func (mc *mapCode) FetchInst(va uint64) *isa.Inst {
+	return mc.m[va]
 }
 
 type world struct {

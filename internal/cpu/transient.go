@@ -50,12 +50,18 @@ func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
 	for r := 1; r < isa.NumRegs; r++ {
 		tainted[r] = c.taintUntil[r] > c.now
 	}
-	storeBuf := make(map[uint64]transientStore)
-	var stack []uint64
+	if c.tbuf == nil {
+		c.tbuf = make(map[uint64]transientStore)
+	} else {
+		clear(c.tbuf)
+	}
+	storeBuf := c.tbuf
+	stack := c.tstack[:0]
+	defer func() { c.tstack = stack[:0] }()
 
 	for n := 0; n < budget; n++ {
-		inst, ok := c.Code.FetchInst(pc)
-		if !ok || (!c.kernelMode && memsimIsKernel(pc)) {
+		inst := c.Code.FetchInst(pc)
+		if inst == nil || (!c.kernelMode && memsimIsKernel(pc)) {
 			return // transient fetch fault (or SMEP): quiet squash
 		}
 		c.Stats.TransientInsts++
@@ -82,7 +88,7 @@ func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
 
 		case isa.OpALU:
 			if inst.AK == isa.AMul {
-				a := Access{
+				c.acc = Access{
 					PC: pc, IsLoad: false, Ctx: c.ctx, Kernel: c.kernelMode,
 					Transient:   true,
 					AddrTainted: tnt(inst.Rs1) || tnt(inst.Rs2),
@@ -91,7 +97,7 @@ func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
 					wr(inst.Rd, 0, true, true)
 					break
 				}
-				if c.Policy.OnTransmit(&a) != Allow {
+				if c.Policy.OnTransmit(&c.acc) != Allow {
 					c.Stats.TransientFences++
 					wr(inst.Rd, 0, true, true)
 					break
@@ -113,16 +119,16 @@ func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
 				break
 			}
 			va := rd(inst.Rs1) + uint64(inst.Imm)
-			a := Access{
+			c.acc = Access{
 				PC: pc, VA: va, IsLoad: true, Ctx: c.ctx, Kernel: c.kernelMode,
 				Transient:   true,
 				AddrTainted: tnt(inst.Rs1),
 			}
 			pa, okA := c.Mem.Resolve(va, inst.Size)
 			if okA {
-				a.L1Hit = c.H.L1D.Lookup(pa)
+				c.acc.L1Hit = c.H.L1D.Lookup(pa)
 			}
-			if c.Policy.OnTransmit(&a) != Allow {
+			if c.Policy.OnTransmit(&c.acc) != Allow {
 				c.Stats.TransientFences++
 				wr(inst.Rd, 0, true, true)
 				break
@@ -143,7 +149,7 @@ func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
 			if s, okS := storeBuf[va]; okS && s.size == inst.Size {
 				v = s.val
 			} else {
-				v, _ = c.Mem.Load(va, inst.Size)
+				v = c.Mem.LoadPA(pa, inst.Size)
 			}
 			wr(inst.Rd, v, false, true)
 

@@ -23,6 +23,7 @@ func (h *Harness) Fig92Scheme(kind schemes.Kind) ([]LEBenchCell, error) {
 			return nil, err
 		}
 		res, err := lebench.RunTest(k, tst, h.Opt.LEBenchIters)
+		k.Release()
 		if err != nil {
 			return nil, err
 		}
@@ -57,7 +58,9 @@ func (h *Harness) ServeApp(a apps.App, kind schemes.Kind, n int) (float64, error
 	if err != nil {
 		return 0, err
 	}
-	return conn.Serve(n)
+	kc, err := conn.Serve(n)
+	k.Release()
+	return kc, err
 }
 
 // LEBenchPerspective runs the full LEBench suite under Perspective with the
@@ -72,6 +75,7 @@ func (h *Harness) LEBenchPerspective(blockUnknown bool) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer k.Release()
 	pol := schemes.NewPerspective(k.DSV, k.ISV, schemes.Perspective)
 	pol.BlockUnknown = blockUnknown
 	k.Core.Policy = pol
@@ -101,6 +105,7 @@ func (h *Harness) ReadWorkloadPerspective(replicate bool) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer k.Release()
 	k.Core.Policy = schemes.NewPerspective(k.DSV, k.ISV, schemes.Perspective)
 	k.OnProcessCreate = func(t *kernel.Task) {
 		k.ISV.Install(t.Ctx(), views.Dynamic.View)

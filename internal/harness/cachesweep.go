@@ -64,6 +64,7 @@ func (h *Harness) recordCheckStream(views *Views) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer k.Release()
 	rec := &pcRecorder{inner: k.Core.Policy}
 	k.Core.Policy = rec
 	w := h.Workloads()[0]

@@ -69,6 +69,7 @@ func (h *Harness) Fig92() ([]LEBenchCell, error) {
 		if err != nil {
 			return c, err
 		}
+		defer k.Release()
 		r, err := lebench.RunTest(k, id.tst, h.Opt.LEBenchIters)
 		c.HandlerFaults = k.Stats.HandlerFaults
 		if err != nil {
@@ -305,6 +306,7 @@ func (h *Harness) appCell(kind schemes.Kind, w Workload) (AppCell, error) {
 	if err != nil {
 		return c, err
 	}
+	defer k.Release()
 	conn, err := apps.Dial(*w.App, k)
 	if err != nil {
 		return c, err
@@ -602,6 +604,7 @@ func (h *Harness) Table101() ([]FenceRow, error) {
 		if err != nil {
 			return FenceRow{}, err
 		}
+		defer k.Release()
 		if err := h.runWorkloadOnce(k, w); err != nil {
 			return FenceRow{}, err
 		}
@@ -686,6 +689,7 @@ func (h *Harness) PoCMatrix() ([]PoCRow, error) {
 		if err != nil {
 			return PoCRow{}, err
 		}
+		defer k.Release()
 		victim, err := k.CreateProcess("victim")
 		if err != nil {
 			return PoCRow{}, fmt.Errorf("victim: %w", err)

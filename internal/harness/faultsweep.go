@@ -115,6 +115,7 @@ func (h *Harness) faultCampaign(kind schemes.Kind, views *Views, rate float64, s
 	if err != nil {
 		return row, err
 	}
+	defer k.Release()
 	inj := faultinject.New(faultinject.UniformConfig(seed, rate))
 	inj.Arm(k.Core, k.DSV, k.ISV)
 	chk := faultinject.NewChecker(k.DSV, k.ISV)

@@ -99,6 +99,9 @@ type Harness struct {
 	pocAll      *isvgen.Result // PoC matrix: permissive view
 	pocHardened *isvgen.Result // PoC matrix: gadget-hardened view
 	pocOnce     sync.Once
+
+	wls     []Workload // memoized Workloads(): called per cell in hot loops
+	wlsOnce sync.Once
 }
 
 // viewsOnce is one workload's memoized view build: the first caller runs
@@ -140,29 +143,34 @@ func New(opt Options) *Harness {
 	}
 }
 
-// Workloads returns LEBench plus the four applications.
+// Workloads returns LEBench plus the four applications. The list is built
+// once and shared: callers treat the returned slice as immutable (ServeApp
+// and the grid runners call this inside per-cell loops).
 func (h *Harness) Workloads() []Workload {
-	out := []Workload{{
-		Name: "LEBench",
-		Profile: isvgen.Profile{
-			Name:     "LEBench",
-			Syscalls: lebench.Profile(),
-			Extra:    []int{kimage.NRGetuid, kimage.NRDup, kimage.NRNanosleep},
-		},
-	}}
-	for i := range apps.All() {
-		a := apps.All()[i]
-		out = append(out, Workload{
-			Name: a.Name,
-			App:  &a,
+	h.wlsOnce.Do(func() {
+		out := []Workload{{
+			Name: "LEBench",
 			Profile: isvgen.Profile{
-				Name:     a.Name,
-				Syscalls: a.Profile(),
-				Extra:    a.ExtraProfile(),
+				Name:     "LEBench",
+				Syscalls: lebench.Profile(),
+				Extra:    []int{kimage.NRGetuid, kimage.NRDup, kimage.NRNanosleep},
 			},
-		})
-	}
-	return out
+		}}
+		for i := range apps.All() {
+			a := apps.All()[i]
+			out = append(out, Workload{
+				Name: a.Name,
+				App:  &a,
+				Profile: isvgen.Profile{
+					Name:     a.Name,
+					Syscalls: a.Profile(),
+					Extra:    a.ExtraProfile(),
+				},
+			})
+		}
+		h.wls = out
+	})
+	return h.wls
 }
 
 // newMachine boots a machine configured for a scheme; for Perspective
@@ -213,6 +221,7 @@ func (h *Harness) buildViews(w Workload) (*Views, error) {
 	if err != nil {
 		return nil, fmt.Errorf("views/%s: boot profiling machine: %w", w.Name, err)
 	}
+	defer k.Release()
 	var ctxs []sec.Ctx
 	k.OnProcessCreate = func(t *kernel.Task) {
 		k.Trace.Enable(t.Ctx())

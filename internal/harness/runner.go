@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -122,9 +123,18 @@ func RunCells[T any](ctx context.Context, opt RunnerOptions, specs []CellSpec,
 	return results, errs
 }
 
+// cellsRun counts cells executed process-wide. Pure host-side accounting
+// for the bench layer's cells/sec metric; never feeds back into a cell.
+var cellsRun atomic.Uint64
+
+// CellsRun reports how many experiment cells this process has executed —
+// the denominator the bench tooling divides wall-clock by.
+func CellsRun() uint64 { return cellsRun.Load() }
+
 // runCell executes one cell with panic recovery and an optional deadline.
 func runCell[T any](ctx context.Context, timeout time.Duration, i int, spec CellSpec,
 	fn func(ctx context.Context, i int, spec CellSpec) (T, error)) (T, error) {
+	cellsRun.Add(1)
 	var zero T
 	if err := ctx.Err(); err != nil {
 		return zero, fmt.Errorf("%s: %w", spec, err)

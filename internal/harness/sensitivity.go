@@ -67,14 +67,17 @@ func (h *Harness) sensitivityCell(w Workload) (SensitivityRow, error) {
 	if err != nil {
 		return SensitivityRow{}, fmt.Errorf("secure run: %w", err)
 	}
-	_, cycNoUnk, err := run(false, true)
+	defer k.Release()
+	kNoUnk, cycNoUnk, err := run(false, true)
 	if err != nil {
 		return SensitivityRow{}, fmt.Errorf("no-unknown run: %w", err)
 	}
+	kNoUnk.Release()
 	kBase, _, err := run(true, false)
 	if err != nil {
 		return SensitivityRow{}, fmt.Errorf("baseline-slab run: %w", err)
 	}
+	defer kBase.Release()
 
 	row := SensitivityRow{
 		Workload:     w.Name,

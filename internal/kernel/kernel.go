@@ -154,6 +154,12 @@ func New(cfg Config, img *kimage.Image) (*Kernel, error) {
 	return k, nil
 }
 
+// Release returns the machine's physical-memory backing store to the
+// process-wide recycling pool (memsim). Call only when completely done with
+// the machine — any later access through a retained pointer would touch an
+// unrelated future machine's memory.
+func (k *Kernel) Release() { k.Phys.Release() }
+
 // boot reserves low memory, lays out the kernel globals, and seeds the
 // dispatch tables.
 func (k *Kernel) boot() error {
@@ -275,6 +281,14 @@ func (k *Kernel) runKernelFunc(t *Task, name string) cpu.RunResult {
 }
 
 func (k *Kernel) runKernelVA(t *Task, va uint64) cpu.RunResult {
+	// Under KPTI (KernelCrossPenalty > 0) the kernel entry switches page
+	// tables, so the host-side translation cache must not carry memoized
+	// user walks across the boundary. The flush is pure host bookkeeping —
+	// the KPTI cycle cost itself is charged by EnterKernel/ExitKernel.
+	kpti := k.Core.Policy.KernelCrossPenalty() > 0
+	if kpti {
+		t.AS.FlushTLB()
+	}
 	t.AS.InKernel = true
 	k.Core.EnterKernel()
 	k.Core.Regs[10] = t.TaskVA()
@@ -290,6 +304,9 @@ func (k *Kernel) runKernelVA(t *Task, va uint64) cpu.RunResult {
 	}
 	k.Core.ExitKernel()
 	t.AS.InKernel = false
+	if kpti {
+		t.AS.FlushTLB()
+	}
 	return res
 }
 
@@ -330,29 +347,29 @@ func (k *Kernel) KernelBuffer(t *Task, order int) (uint64, error) {
 type codeSource struct{ k *Kernel }
 
 // FetchInst implements cpu.CodeSource.
-func (cs *codeSource) FetchInst(va uint64) (isaInst, bool) {
-	if in, ok := cs.k.Img.FetchInst(va); ok {
-		return in, true
+func (cs *codeSource) FetchInst(va uint64) *isaInst {
+	if in := cs.k.Img.InstAt(va); in != nil {
+		return in
 	}
 	if t := cs.k.current; t != nil && t.userCode != nil {
-		in, ok := t.userCode[va]
-		return in, ok
+		return t.userCode[va]
 	}
-	return isaInst{}, false
+	return nil
 }
 
 // LoadUserCode installs instructions at a user VA for t (the attacker's
 // binary). Local-label targets are linked against base.
 func (k *Kernel) LoadUserCode(t *Task, base uint64, insts []isaInst) {
 	if t.userCode == nil {
-		t.userCode = make(map[uint64]isaInst)
+		t.userCode = make(map[uint64]*isaInst)
 	}
 	for i, in := range insts {
 		if in.Sym == isaLocalSym {
 			in.Target = base + in.Target*4
 			in.Sym = ""
 		}
-		t.userCode[base+uint64(i)*4] = in
+		in := in
+		t.userCode[base+uint64(i)*4] = &in
 	}
 }
 

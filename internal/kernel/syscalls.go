@@ -560,7 +560,7 @@ func (k *Kernel) doFork(t *Task, thread bool) (*Task, error) {
 		return child, nil
 	}
 	for _, pm := range t.AS.MappedUserPages() {
-		cpfn, err := k.allocUserPage(child, pm.VA)
+		cpfn, err := k.allocUserPageFill(child, pm.VA, false)
 		if err != nil {
 			return nil, err
 		}

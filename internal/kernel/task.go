@@ -46,8 +46,9 @@ type Task struct {
 	sharesAS bool
 
 	// userCode holds the task's user-mode instructions (attack PoCs load
-	// predictor-training stubs here).
-	userCode map[uint64]isaInst
+	// predictor-training stubs here). Values are pointers so the fetch path
+	// hands out stable *Inst without a per-fetch copy.
+	userCode map[uint64]*isaInst
 
 	// seccomp, when non-nil, is the task's allowed-syscall set — classic
 	// system call interposition (§2.3), the technique whose allow-list
@@ -238,11 +239,21 @@ func (k *Kernel) Tasks() []*Task {
 
 // allocUserPage allocates, zeroes, maps and DSV-registers one user page.
 func (k *Kernel) allocUserPage(t *Task, va uint64) (uint64, error) {
+	return k.allocUserPageFill(t, va, true)
+}
+
+// allocUserPageFill is allocUserPage with the zeroing optional: fork's COW
+// copy overwrites the whole frame immediately after mapping, so zeroing it
+// first is dead host work with no simulated effect (nothing reads the frame
+// between map and copy).
+func (k *Kernel) allocUserPageFill(t *Task, va uint64, zero bool) (uint64, error) {
 	pfn, ok := k.Buddy.AllocPages(0, t.Ctx())
 	if !ok {
 		return 0, fmt.Errorf("kernel: OOM mapping %#x", va)
 	}
-	k.Phys.ZeroFrame(pfn)
+	if zero {
+		k.Phys.ZeroFrame(pfn)
+	}
 	k.Cg.Charge(t.Ctx(), 1)
 	if err := t.AS.MapPage(va, pfn); err != nil {
 		return 0, err
@@ -301,16 +312,24 @@ func (k *Kernel) ensureUserPages(t *Task, va, n uint64) error {
 }
 
 // CopyToUser writes bytes into the task's user memory (fault-populating).
+// The copy translates once per page, not once per byte: within a page the
+// physical bytes are contiguous.
 func (k *Kernel) CopyToUser(t *Task, va uint64, data []byte) error {
 	if err := k.ensureUserPages(t, va, uint64(len(data))); err != nil {
 		return err
 	}
-	for i, b := range data {
-		pa, ok := t.AS.Translate(va + uint64(i))
+	for len(data) > 0 {
+		pa, ok := t.AS.Translate(va)
 		if !ok {
-			return fmt.Errorf("kernel: CopyToUser unmapped %#x", va+uint64(i))
+			return fmt.Errorf("kernel: CopyToUser unmapped %#x", va)
 		}
-		k.Phys.Write8(pa, b)
+		n := memsim.PageSize - (va & (memsim.PageSize - 1))
+		if n > uint64(len(data)) {
+			n = uint64(len(data))
+		}
+		k.Phys.CopyIn(pa, data[:n])
+		va += n
+		data = data[n:]
 	}
 	return nil
 }
@@ -318,12 +337,17 @@ func (k *Kernel) CopyToUser(t *Task, va uint64, data []byte) error {
 // ReadUser reads bytes from the task's user memory.
 func (k *Kernel) ReadUser(t *Task, va uint64, n int) ([]byte, error) {
 	out := make([]byte, n)
-	for i := range out {
-		pa, ok := t.AS.Translate(va + uint64(i))
+	for off := uint64(0); off < uint64(n); {
+		pa, ok := t.AS.Translate(va + off)
 		if !ok {
-			return nil, fmt.Errorf("kernel: ReadUser unmapped %#x", va+uint64(i))
+			return nil, fmt.Errorf("kernel: ReadUser unmapped %#x", va+off)
 		}
-		out[i] = k.Phys.Read8(pa)
+		chunk := memsim.PageSize - ((va + off) & (memsim.PageSize - 1))
+		if rem := uint64(n) - off; chunk > rem {
+			chunk = rem
+		}
+		k.Phys.CopyOut(pa, out[off:off+chunk])
+		off += chunk
 	}
 	return out, nil
 }

@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/kimage"
+	"repro/internal/schemes"
+)
+
+// Under a KPTI-modelling policy (KernelCrossPenalty > 0) every kernel
+// entry/exit pair must flush the task's host-side translation cache — the
+// simulated kernel switches page tables, so memoized user walks may not
+// cross the boundary.
+func TestSyscallFlushesTLBUnderKPTI(t *testing.T) {
+	k := newKernel(t)
+	k.Core.Policy = &schemes.SpotPolicy{KPTI: true}
+	p := mustProc(t, k, "kpti")
+
+	before := p.AS.TLBStats().Flushes
+	if _, err := k.Syscall(p, kimage.NRGetpid); err != nil {
+		t.Fatal(err)
+	}
+	after := p.AS.TLBStats().Flushes
+	// One flush at entry, one at exit.
+	if after < before+2 {
+		t.Errorf("KPTI syscall flushed %d times, want >= 2", after-before)
+	}
+
+	// Without KPTI the cache survives the crossing.
+	k.Core.Policy = &schemes.SpotPolicy{}
+	before = p.AS.TLBStats().Flushes
+	if _, err := k.Syscall(p, kimage.NRGetpid); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.AS.TLBStats().Flushes; got != before {
+		t.Errorf("non-KPTI syscall flushed the TLB %d times", got-before)
+	}
+
+	// And in either mode the cache agrees with the walk afterwards.
+	if err := p.AS.VerifyAgainstWalk(); err != nil {
+		t.Error(err)
+	}
+}
+
+// A fork child's writes must not be visible through the parent's cached
+// translations (and vice versa): the kernel-level version of the vmm
+// fork-divergence test, exercising the full syscall path.
+func TestForkWriteDivergenceThroughTLB(t *testing.T) {
+	k := newKernel(t)
+	p := mustProc(t, k, "forkdiv")
+	va, err := k.Syscall(p, kimage.NRMmap, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CopyToUser(p, va, []byte("parent")); err != nil {
+		t.Fatal(err)
+	}
+	pid, err := k.Syscall(p, kimage.NRFork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := k.Tasks()[len(k.Tasks())-1]
+	if child.PID != int(pid) {
+		for _, c := range k.Tasks() {
+			if c.PID == int(pid) {
+				child = c
+			}
+		}
+	}
+	// Both spaces are warm for va now; diverge the child.
+	if err := k.CopyToUser(child, va, []byte("child!")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.ReadUser(p, va, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "parent" {
+		t.Errorf("parent sees %q after child write", got)
+	}
+	cgot, _ := k.ReadUser(child, va, 6)
+	if string(cgot) != "child!" {
+		t.Errorf("child sees %q after its own write", cgot)
+	}
+	if err := p.AS.VerifyAgainstWalk(); err != nil {
+		t.Error(err)
+	}
+	if err := child.AS.VerifyAgainstWalk(); err != nil {
+		t.Error(err)
+	}
+	k.ExitPID(int(pid))
+}

@@ -171,16 +171,28 @@ func link(funcs []*Func) (*Image, error) {
 	return img, nil
 }
 
-// FetchInst implements cpu.CodeSource.
+// FetchInst returns the instruction at va by value (tests and tools).
 func (img *Image) FetchInst(va uint64) (isa.Inst, bool) {
+	if in := img.InstAt(va); in != nil {
+		return *in, true
+	}
+	return isa.Inst{}, false
+}
+
+// InstAt returns a pointer to the instruction at va, or nil if va is not
+// fetchable. The image is immutable after linking, so handing out interior
+// pointers is safe — and it spares the per-fetch struct copy on the single
+// hottest call in the simulator (the frontend fetches one instruction per
+// simulated instruction).
+func (img *Image) InstAt(va uint64) *isa.Inst {
 	if va < img.base || va%isa.InstBytes != 0 {
-		return isa.Inst{}, false
+		return nil
 	}
 	idx := int(va-img.base) / isa.InstBytes
 	if idx >= len(img.flat) || !img.valid[idx] {
-		return isa.Inst{}, false
+		return nil
 	}
-	return img.flat[idx], true
+	return &img.flat[idx]
 }
 
 // Funcs returns all functions in layout order.

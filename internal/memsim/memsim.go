@@ -9,6 +9,8 @@ package memsim
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
+	"sync"
 )
 
 // Page geometry.
@@ -55,14 +57,80 @@ func PageBase(va uint64) uint64 { return va &^ (PageSize - 1) }
 type Phys struct {
 	data   []byte
 	frames int
+	// dirty has one bit per 64 KB granule that has been written since the
+	// backing store was last known all-zero. Boots dominate the harness's
+	// host time when every cell zero-allocates a fresh machine; recycling
+	// a released Phys only has to re-zero the granules a cell actually
+	// touched (typically a few percent of the machine).
+	dirty []uint64
 }
+
+// dirtyShift is the log2 of the dirty-tracking granule (64 KB).
+const dirtyShift = 16
+
+// physPool recycles released backing stores across machine boots. Purely a
+// host-side allocation cache: a recycled store is scrubbed back to all-zero
+// before reuse, so a booted machine's simulated state is byte-identical
+// whether its memory is fresh or recycled.
+var physPool sync.Pool
 
 // NewPhys creates a physical memory of n frames.
 func NewPhys(frames int) *Phys {
 	if frames <= 0 {
 		panic("memsim: frames must be positive")
 	}
-	return &Phys{data: make([]byte, frames*PageSize), frames: frames}
+	if v := physPool.Get(); v != nil {
+		p := v.(*Phys)
+		if p.frames == frames {
+			p.scrub()
+			return p
+		}
+		// Different geometry (quick vs. paper scale): drop it.
+	}
+	granules := (frames*PageSize + (1 << dirtyShift) - 1) >> dirtyShift
+	return &Phys{
+		data:   make([]byte, frames*PageSize),
+		frames: frames,
+		dirty:  make([]uint64, (granules+63)/64),
+	}
+}
+
+// Release returns the backing store to the recycling pool. The caller must
+// be completely done with the machine: any later access through a retained
+// pointer would read (or corrupt) an unrelated future machine's memory.
+func (p *Phys) Release() { physPool.Put(p) }
+
+// scrub zeroes every granule written since the store was last all-zero.
+func (p *Phys) scrub() {
+	for w, word := range p.dirty {
+		for word != 0 {
+			g := uint64(w*64 + bits.TrailingZeros64(word))
+			word &= word - 1
+			off := g << dirtyShift
+			end := off + (1 << dirtyShift)
+			if end > uint64(len(p.data)) {
+				end = uint64(len(p.data))
+			}
+			clear(p.data[off:end])
+		}
+		p.dirty[w] = 0
+	}
+}
+
+// mark records a write to the granule containing pa.
+func (p *Phys) mark(pa uint64) {
+	g := pa >> dirtyShift
+	p.dirty[g>>6] |= 1 << (g & 63)
+}
+
+// markRange records a write to [pa, pa+n).
+func (p *Phys) markRange(pa, n uint64) {
+	if n == 0 {
+		return
+	}
+	for g := pa >> dirtyShift; g <= (pa+n-1)>>dirtyShift; g++ {
+		p.dirty[g>>6] |= 1 << (g & 63)
+	}
 }
 
 // Frames reports the number of physical frames.
@@ -82,6 +150,7 @@ func (p *Phys) Read64(pa uint64) uint64 {
 
 // Write64 writes 8 bytes at pa.
 func (p *Phys) Write64(pa uint64, v uint64) {
+	p.mark(pa)
 	binary.LittleEndian.PutUint64(p.data[pa:pa+8], v)
 }
 
@@ -89,19 +158,35 @@ func (p *Phys) Write64(pa uint64, v uint64) {
 func (p *Phys) Read8(pa uint64) byte { return p.data[pa] }
 
 // Write8 writes one byte.
-func (p *Phys) Write8(pa uint64, v byte) { p.data[pa] = v }
+func (p *Phys) Write8(pa uint64, v byte) {
+	p.mark(pa)
+	p.data[pa] = v
+}
 
 // ZeroFrame clears the frame containing pa, as the kernel does before handing
 // a page to userspace.
 func (p *Phys) ZeroFrame(pfn uint64) {
 	off := pfn * PageSize
-	for i := range p.data[off : off+PageSize] {
-		p.data[off+uint64(i)] = 0
-	}
+	p.mark(off)
+	clear(p.data[off : off+PageSize])
+}
+
+// CopyOut fills dst with the bytes starting at pa. Callers must have
+// translated and bounds-checked first (it panics like Read64 on
+// out-of-range addresses).
+func (p *Phys) CopyOut(pa uint64, dst []byte) {
+	copy(dst, p.data[pa:pa+uint64(len(dst))])
+}
+
+// CopyIn writes data starting at pa.
+func (p *Phys) CopyIn(pa uint64, data []byte) {
+	p.markRange(pa, uint64(len(data)))
+	copy(p.data[pa:pa+uint64(len(data))], data)
 }
 
 // CopyFrame copies frame src to frame dst (fork, COW break).
 func (p *Phys) CopyFrame(dst, src uint64) {
+	p.mark(dst * PageSize)
 	copy(p.data[dst*PageSize:(dst+1)*PageSize], p.data[src*PageSize:(src+1)*PageSize])
 }
 
@@ -167,12 +252,28 @@ func (m *Mem) Store(va uint64, size uint8, v uint64) bool {
 	if !ok {
 		return false
 	}
+	m.StorePA(pa, size, v)
+	return true
+}
+
+// LoadPA reads size (1 or 8) bytes at an already-resolved physical address.
+// The CPU core resolves each access once (Resolve) and then uses the PA for
+// both the cache access and the data read — re-translating the VA here was
+// pure host-side waste.
+func (m *Mem) LoadPA(pa uint64, size uint8) uint64 {
+	if size == 1 {
+		return uint64(m.Phys.Read8(pa))
+	}
+	return m.Phys.Read64(pa)
+}
+
+// StorePA writes size (1 or 8) bytes at an already-resolved physical address.
+func (m *Mem) StorePA(pa uint64, size uint8, v uint64) {
 	if size == 1 {
 		m.Phys.Write8(pa, byte(v))
 	} else {
 		m.Phys.Write64(pa, v)
 	}
-	return true
 }
 
 func (m *Mem) translateChecked(va, size uint64) (uint64, bool) {

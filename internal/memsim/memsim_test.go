@@ -145,3 +145,59 @@ func TestNewPhysPanicsOnZeroFrames(t *testing.T) {
 	}()
 	NewPhys(0)
 }
+
+// TestPhysRecyclingScrub exercises every write path, scrubs, and verifies the
+// store is indistinguishable from a fresh allocation — the invariant the
+// recycling pool depends on for byte-identical simulated output.
+func TestPhysRecyclingScrub(t *testing.T) {
+	const frames = 64 // 256 KB: several dirty granules
+	p := NewPhys(frames)
+	p.Write64(0, 0xdeadbeef)
+	p.Write8(PageSize+1, 0xff)
+	p.CopyIn(uint64(frames)*PageSize-9, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	p.CopyIn((1<<dirtyShift)-4, []byte{1, 2, 3, 4, 5, 6, 7, 8}) // straddles a granule boundary
+	p.Write8(2*PageSize, 7)
+	p.ZeroFrame(2) // zeroes but still marks the granule
+	p.CopyFrame(3, 0)
+
+	p.scrub()
+	for i, b := range p.data {
+		if b != 0 {
+			t.Fatalf("byte %#x = %#x after scrub, want 0", i, b)
+		}
+	}
+	for i, w := range p.dirty {
+		if w != 0 {
+			t.Fatalf("dirty word %d = %#x after scrub, want 0", i, w)
+		}
+	}
+}
+
+// TestPhysPoolRoundTrip releases a dirtied store and checks that whatever
+// NewPhys hands back next (recycled or fresh) is all-zero.
+func TestPhysPoolRoundTrip(t *testing.T) {
+	const frames = 32
+	p := NewPhys(frames)
+	p.Write64(5*PageSize+16, ^uint64(0))
+	p.Release()
+	q := NewPhys(frames)
+	if q.Frames() != frames {
+		t.Fatalf("Frames() = %d, want %d", q.Frames(), frames)
+	}
+	for i, b := range q.data {
+		if b != 0 {
+			t.Fatalf("recycled byte %#x = %#x, want 0", i, b)
+		}
+	}
+	// Mismatched geometry must never alias the pooled store.
+	q.Release()
+	r := NewPhys(frames * 2)
+	if r.Frames() != frames*2 {
+		t.Fatalf("Frames() = %d, want %d", r.Frames(), frames*2)
+	}
+	for i, b := range r.data {
+		if b != 0 {
+			t.Fatalf("fresh byte %#x = %#x, want 0", i, b)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package vmm
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+// benchSpace maps n consecutive user pages and returns the address space.
+func benchSpace(b *testing.B, n int) *AddrSpace {
+	_, bud, _, as := setup(b)
+	for i := uint64(0); i < uint64(n); i++ {
+		pfn, ok := bud.AllocPages(0, 2)
+		if !ok {
+			b.Fatal("oom")
+		}
+		if err := as.MapPage(UserMmapBase+i*memsim.PageSize, pfn); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return as
+}
+
+// BenchmarkTranslate is the hot path as the cpu package sees it: warm
+// translations served from the per-AddrSpace TLB.
+func BenchmarkTranslate(b *testing.B) {
+	const pages = 64
+	as := benchSpace(b, pages)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := UserMmapBase + uint64(i%pages)*memsim.PageSize
+		if _, ok := as.Translate(va + 8); !ok {
+			b.Fatal("translate failed")
+		}
+	}
+}
+
+// BenchmarkTranslateWalk forces the 4-level walk on every lookup by
+// flushing the TLB each iteration — the pre-cache cost, kept as the
+// reference point for the memoization win.
+func BenchmarkTranslateWalk(b *testing.B) {
+	const pages = 64
+	as := benchSpace(b, pages)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as.FlushTLB()
+		va := UserMmapBase + uint64(i%pages)*memsim.PageSize
+		if _, ok := as.Translate(va + 8); !ok {
+			b.Fatal("translate failed")
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package vmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+// Every invalidation point from tlb.go's inventory gets a dedicated test
+// here, plus a randomized differential test asserting the cached path always
+// agrees with the raw walk.
+
+func TestTLBTranslateAfterMunmap(t *testing.T) {
+	_, bud, _, as := setup(t)
+	pfn, _ := bud.AllocPages(0, 2)
+	va := uint64(UserMmapBase)
+	as.MapPage(va, pfn)
+	if _, ok := as.Lookup(va); !ok {
+		t.Fatal("mapped VA does not translate")
+	}
+	if as.TLBStats().Hits == 0 {
+		// MapPage pre-inserts, so the Lookup above must have hit.
+		t.Error("lookup after MapPage missed the TLB")
+	}
+	as.UnmapPage(va)
+	if _, ok := as.Lookup(va); ok {
+		t.Error("stale TLB entry survived munmap")
+	}
+	if err := as.VerifyAgainstWalk(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBRemapUpdatesEntry(t *testing.T) {
+	_, bud, _, as := setup(t)
+	pfn1, _ := bud.AllocPages(0, 2)
+	pfn2, _ := bud.AllocPages(0, 2)
+	va := uint64(UserMmapBase)
+	as.MapPage(va, pfn1)
+	as.Lookup(va) // warm the cache
+	as.MapPage(va, pfn2)
+	if got, ok := as.Lookup(va); !ok || got != pfn2 {
+		t.Errorf("after remap Lookup = %d, %v; want %d", got, ok, pfn2)
+	}
+	if err := as.VerifyAgainstWalk(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Two address spaces in the same cgroup mapping the same VA to different
+// frames (a fork child after COW) must never see each other's cached
+// translations: the per-AddrSpace TLB instance is the ASID tag.
+func TestTLBForkDivergence(t *testing.T) {
+	phys, bud, km, parent := setup(t)
+	child, err := NewAddrSpace(phys, bud, km, parent.Ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppfn, _ := bud.AllocPages(0, 2)
+	cpfn, _ := bud.AllocPages(0, 2)
+	va := uint64(UserMmapBase)
+	parent.MapPage(va, ppfn)
+	child.MapPage(va, cpfn)
+	// Warm both caches, then write through the parent's translation.
+	ppa, _ := parent.Translate(va)
+	cpa, _ := child.Translate(va)
+	phys.Write64(ppa, 0xdead)
+	if got := phys.Read64(cpa); got == 0xdead {
+		t.Fatal("child translation aliases parent frame")
+	}
+	if p2, _ := parent.Translate(va); p2 != ppa {
+		t.Error("parent translation unstable")
+	}
+	if c2, _ := child.Translate(va); c2 != cpa {
+		t.Error("child translation unstable")
+	}
+}
+
+// A torn-down address space's cache must be unreachable from its successor:
+// a new process reusing the context (ASID reuse after exit) builds a fresh
+// AddrSpace, and the old entries must not resolve even if the page-table
+// frames were recycled in between.
+func TestTLBExitThenASIDReuse(t *testing.T) {
+	phys, bud, km, as1 := setup(t)
+	pfn, _ := bud.AllocPages(0, 2)
+	va := uint64(UserMmapBase)
+	as1.MapPage(va, pfn)
+	as1.Lookup(va) // cached
+	// Teardown: free the data frame and the tables (kernel Exit order).
+	as1.UnmapPage(va)
+	bud.Free(pfn)
+	as1.ReleasePageTables()
+	if got := as1.TLBStats(); got.Flushes == 0 {
+		t.Error("ReleasePageTables did not flush the TLB")
+	}
+	// Same context, fresh address space — possibly reusing the freed frames.
+	as2, err := NewAddrSpace(phys, bud, km, as1.Ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := as2.Lookup(va); ok {
+		t.Error("recycled ASID sees predecessor's translation")
+	}
+	if err := as2.VerifyAgainstWalk(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBKPTIFlush(t *testing.T) {
+	_, bud, _, as := setup(t)
+	pfn, _ := bud.AllocPages(0, 2)
+	va := uint64(UserMmapBase)
+	as.MapPage(va, pfn)
+	as.Lookup(va)
+	before := as.TLBStats()
+	as.FlushTLB() // kernel entry under KPTI
+	after := as.TLBStats()
+	if after.Flushes != before.Flushes+1 {
+		t.Errorf("flushes = %d, want %d", after.Flushes, before.Flushes+1)
+	}
+	// The translation itself must survive (the page is still mapped) but
+	// the next lookup must re-walk, not hit.
+	got, ok := as.Lookup(va)
+	if !ok || got != pfn {
+		t.Errorf("post-flush Lookup = %d, %v; want %d", got, ok, pfn)
+	}
+	if as.TLBStats().Misses <= before.Misses {
+		t.Error("post-flush lookup did not re-walk")
+	}
+}
+
+func TestKernelTLBVmallocVfree(t *testing.T) {
+	_, bud, km, as := setup(t)
+	as.InKernel = true
+	var pfns []uint64
+	for i := 0; i < 3; i++ {
+		pfn, _ := bud.AllocPages(0, 2)
+		pfns = append(pfns, pfn)
+	}
+	base := km.Vmalloc(pfns)
+	for i, pfn := range pfns {
+		va := base + uint64(i)*memsim.PageSize
+		pa, ok := as.Translate(va + 7)
+		if !ok || pa != pfn*memsim.PageSize+7 {
+			t.Fatalf("vmalloc page %d: translate = %#x, %v", i, pa, ok)
+		}
+	}
+	if err := km.VerifyAgainstMaps(); err != nil {
+		t.Fatal(err)
+	}
+	km.Vfree(base, len(pfns))
+	for i := range pfns {
+		if _, ok := as.Translate(base + uint64(i)*memsim.PageSize); ok {
+			t.Errorf("vmalloc page %d translates after Vfree", i)
+		}
+	}
+	if err := km.VerifyAgainstMaps(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelTLBPerCPURemap(t *testing.T) {
+	_, bud, km, as := setup(t)
+	as.InKernel = true
+	pfn1, _ := bud.AllocPages(0, 2)
+	pfn2, _ := bud.AllocPages(0, 2)
+	va := memsim.PerCPUBase
+	km.MapPerCPU(va, pfn1)
+	if pa, ok := as.Translate(va); !ok || pa != pfn1*memsim.PageSize {
+		t.Fatalf("per-cpu translate = %#x, %v", pa, ok)
+	}
+	km.MapPerCPU(va, pfn2) // remap must update the cached entry
+	if pa, ok := as.Translate(va); !ok || pa != pfn2*memsim.PageSize {
+		t.Errorf("per-cpu translate after remap = %#x, %v; want %#x", pa, ok, pfn2*memsim.PageSize)
+	}
+	if err := km.VerifyAgainstMaps(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTLBDifferential drives a long randomized map/remap/unmap/flush
+// sequence and checks after every step that (a) the cached Lookup equals the
+// raw walk for a sample of addresses and (b) every live TLB entry still
+// matches the walk. This is the executable form of the memoization-purity
+// claim: the cache can never return anything the walk would not.
+func TestTLBDifferential(t *testing.T) {
+	_, bud, _, as := setup(t)
+	rng := rand.New(rand.NewSource(42))
+	const vaSpan = 512 // pages, overlapping the 1024-entry TLB's index space
+	mapped := make(map[uint64]uint64)
+	vaAt := func(i uint64) uint64 { return UserMmapBase + i*memsim.PageSize }
+
+	for step := 0; step < 4000; step++ {
+		i := uint64(rng.Intn(vaSpan))
+		va := vaAt(i)
+		switch rng.Intn(5) {
+		case 0, 1: // map or remap
+			pfn, ok := bud.AllocPages(0, 2)
+			if !ok {
+				t.Fatal("oom")
+			}
+			if old, exists := mapped[va]; exists {
+				bud.Free(old)
+			}
+			if err := as.MapPage(va, pfn); err != nil {
+				t.Fatal(err)
+			}
+			mapped[va] = pfn
+		case 2: // unmap
+			if pfn, exists := mapped[va]; exists {
+				got, ok := as.UnmapPage(va)
+				if !ok || got != pfn {
+					t.Fatalf("unmap %#x = %d, %v; want %d", va, got, ok, pfn)
+				}
+				bud.Free(pfn)
+				delete(mapped, va)
+			}
+		case 3: // lookup (warms the cache)
+			want, exists := mapped[va]
+			got, ok := as.Lookup(va)
+			if ok != exists || (ok && got != want) {
+				t.Fatalf("step %d: Lookup(%#x) = %d, %v; want %d, %v",
+					step, va, got, ok, want, exists)
+			}
+		case 4: // KPTI-style full flush
+			as.FlushTLB()
+		}
+		// Sampled differential check: cached path == raw walk.
+		for s := 0; s < 4; s++ {
+			sva := vaAt(uint64(rng.Intn(vaSpan)))
+			cpfn, cok := as.Lookup(sva)
+			wpfn, wok := as.lookupWalk(sva)
+			if cok != wok || (cok && cpfn != wpfn) {
+				t.Fatalf("step %d: cached %#x = (%d,%v), walk = (%d,%v)",
+					step, sva, cpfn, cok, wpfn, wok)
+			}
+		}
+		if step%250 == 0 {
+			if err := as.VerifyAgainstWalk(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := as.VerifyAgainstWalk(); err != nil {
+		t.Fatal(err)
+	}
+	// The workload must have exercised both sides of the cache.
+	st := as.TLBStats()
+	if st.Hits == 0 || st.Misses == 0 || st.Flushes == 0 || st.Evicts == 0 {
+		t.Errorf("differential run left counters unexercised: %+v", st)
+	}
+}
+
+// The TLB is a pure host-side structure: a warm cache and a cold cache must
+// produce identical translations for identical mapping states.
+func TestTLBColdWarmEquivalence(t *testing.T) {
+	phys, bud, km, warm := setup(t)
+	cold, err := NewAddrSpace(phys, bud, km, warm.Ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 64; i++ {
+		pfn, _ := bud.AllocPages(0, 2)
+		va := UserMmapBase + i*memsim.PageSize
+		warm.MapPage(va, pfn)
+		cold.MapPage(va, pfn)
+	}
+	// Warm one space twice over; leave the other's cache flushed.
+	for pass := 0; pass < 2; pass++ {
+		for i := uint64(0); i < 64; i++ {
+			warm.Lookup(UserMmapBase + i*memsim.PageSize)
+		}
+	}
+	cold.FlushTLB()
+	for i := uint64(0); i < 64; i++ {
+		va := UserMmapBase + i*memsim.PageSize
+		wp, wok := warm.Translate(va + i)
+		cp, cok := cold.Translate(va + i)
+		if wok != cok || wp != cp {
+			t.Fatalf("warm/cold diverge at %#x: (%#x,%v) vs (%#x,%v)", va, wp, wok, cp, cok)
+		}
+	}
+}

@@ -30,6 +30,10 @@ type Kmaps struct {
 	vmalloc   map[uint64]uint64 // page VA -> pfn
 	perCPU    map[uint64]uint64
 	vmCursor  uint64
+
+	// tlb memoizes vmalloc and per-cpu translations so the per-access map
+	// probes leave the hot path; Vmalloc/Vfree/MapPerCPU keep it coherent.
+	tlb tlb
 }
 
 // NewKmaps creates the shared kernel mappings for a physical memory of the
@@ -49,7 +53,9 @@ func NewKmaps(physBytes uint64) *Kmaps {
 func (k *Kmaps) Vmalloc(pfns []uint64) uint64 {
 	base := k.vmCursor
 	for i, pfn := range pfns {
-		k.vmalloc[base+uint64(i)*memsim.PageSize] = pfn
+		va := base + uint64(i)*memsim.PageSize
+		k.vmalloc[va] = pfn
+		k.tlb.insert(va>>memsim.PageShift, pfn)
 	}
 	k.vmCursor = base + uint64(len(pfns)+1)*memsim.PageSize
 	return base
@@ -64,13 +70,36 @@ func (k *Kmaps) Vfree(base uint64, n int) []uint64 {
 		if pfn, ok := k.vmalloc[va]; ok {
 			pfns = append(pfns, pfn)
 			delete(k.vmalloc, va)
+			k.tlb.invalidate(va >> memsim.PageShift)
 		}
 	}
 	return pfns
 }
 
 // MapPerCPU installs a per-cpu page.
-func (k *Kmaps) MapPerCPU(va, pfn uint64) { k.perCPU[va&^0xfff] = pfn }
+func (k *Kmaps) MapPerCPU(va, pfn uint64) {
+	k.perCPU[va&^0xfff] = pfn
+	k.tlb.insert(va>>memsim.PageShift, pfn)
+}
+
+// lookupKernel resolves a vmalloc or per-cpu page VA through the kernel
+// translation cache, falling back to the mapping tables on a miss.
+func (k *Kmaps) lookupKernel(va uint64) (pfn uint64, ok bool) {
+	vpn := va >> memsim.PageShift
+	if pfn, ok = k.tlb.lookup(vpn); ok {
+		return pfn, true
+	}
+	switch {
+	case va >= memsim.VmallocBase && va < memsim.VmallocBase+memsim.VmallocSize:
+		pfn, ok = k.vmalloc[va&^(memsim.PageSize-1)]
+	case va >= memsim.PerCPUBase && va < memsim.PerCPUBase+memsim.PerCPUSize:
+		pfn, ok = k.perCPU[va&^(memsim.PageSize-1)]
+	}
+	if ok {
+		k.tlb.insert(vpn, pfn)
+	}
+	return pfn, ok
+}
 
 // VMA is one user mapping.
 type VMA struct {
@@ -107,6 +136,10 @@ type AddrSpace struct {
 	mmapNext uint64
 	brk      uint64
 	brkStart uint64
+
+	// tlb memoizes user-half walks; every mapping change below keeps it
+	// coherent (see tlb.go for the invalidation-point inventory).
+	tlb tlb
 
 	// InKernel gates access to kernel-half addresses (the privilege check).
 	InKernel bool
@@ -178,6 +211,9 @@ func (as *AddrSpace) MapPage(va, pfn uint64) error {
 		}
 	}
 	as.setPTE(table, ptIndex(va, 0), pfn<<12|pteP)
+	// A remap of an already-mapped VA must not leave the old translation
+	// cached; inserting covers both the fresh-map and remap cases.
+	as.tlb.insert(va>>memsim.PageShift, pfn)
 	return nil
 }
 
@@ -197,11 +233,28 @@ func (as *AddrSpace) UnmapPage(va uint64) (pfn uint64, ok bool) {
 		return 0, false
 	}
 	as.setPTE(table, idx, 0)
+	as.tlb.invalidate(va >> memsim.PageShift)
 	return e >> 12, true
 }
 
-// Lookup resolves a user VA to its frame without side effects.
+// Lookup resolves a user VA to its frame without simulated side effects,
+// consulting the translation cache before walking the page table.
 func (as *AddrSpace) Lookup(va uint64) (pfn uint64, ok bool) {
+	vpn := va >> memsim.PageShift
+	if pfn, ok = as.tlb.lookup(vpn); ok {
+		return pfn, true
+	}
+	pfn, ok = as.lookupWalk(va)
+	if ok {
+		as.tlb.insert(vpn, pfn)
+	}
+	return pfn, ok
+}
+
+// lookupWalk is the raw 4-level page-table walk — the TLB's ground truth.
+// Negative results are never cached: an unmapped page walks every time, so
+// a later MapPage needs no negative-entry invalidation.
+func (as *AddrSpace) lookupWalk(va uint64) (pfn uint64, ok bool) {
 	table := as.rootPFN
 	for level := 3; level > 0; level-- {
 		e := as.pte(table, ptIndex(va, level))
@@ -229,16 +282,8 @@ func (as *AddrSpace) Translate(va uint64) (uint64, bool) {
 	if pa, ok := memsim.DirectMapPA(va, as.km.PhysBytes); ok {
 		return pa, true
 	}
-	if va >= memsim.VmallocBase && va < memsim.VmallocBase+memsim.VmallocSize {
-		if pfn, ok := as.km.vmalloc[va&^0xfff]; ok {
-			return pfn*memsim.PageSize + va%memsim.PageSize, true
-		}
-		return 0, false
-	}
-	if va >= memsim.PerCPUBase && va < memsim.PerCPUBase+memsim.PerCPUSize {
-		if pfn, ok := as.km.perCPU[va&^0xfff]; ok {
-			return pfn*memsim.PageSize + va%memsim.PageSize, true
-		}
+	if pfn, ok := as.km.lookupKernel(va); ok {
+		return pfn*memsim.PageSize + va%memsim.PageSize, true
 	}
 	return 0, false
 }
@@ -329,10 +374,13 @@ func (as *AddrSpace) walk(table uint64, level int, vaBase uint64, out *[]PageMap
 }
 
 // ReleasePageTables frees the page-table frames; the kernel calls this at
-// process teardown after freeing the mapped data frames.
+// process teardown after freeing the mapped data frames. The translation
+// cache dies with the tables: a recycled ASID (a new process in the same
+// cgroup) builds a fresh AddrSpace and can never see these entries.
 func (as *AddrSpace) ReleasePageTables() {
 	for _, pfn := range as.ptPages {
 		as.bud.Free(pfn)
 	}
 	as.ptPages = nil
+	as.tlb.flush()
 }

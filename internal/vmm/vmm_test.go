@@ -8,7 +8,7 @@ import (
 	"repro/internal/memsim"
 )
 
-func setup(t *testing.T) (*memsim.Phys, *buddy.Allocator, *Kmaps, *AddrSpace) {
+func setup(t testing.TB) (*memsim.Phys, *buddy.Allocator, *Kmaps, *AddrSpace) {
 	t.Helper()
 	phys := memsim.NewPhys(1024)
 	bud := buddy.New(1024)
