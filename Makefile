@@ -5,7 +5,7 @@ GO ?= go
 # drops combined coverage below this.
 COVER_MIN ?= 70
 
-.PHONY: build test vet race fuzzseed cover check bench benchsmoke clean
+.PHONY: build test vet race fuzzseed cover check bench benchsmoke benchdiff benchdiffsmoke clean
 
 # Packages carrying the host-perf microbenchmarks (cache access, vmm
 # translate, cpu issue loop, kernel syscall round-trip).
@@ -37,8 +37,9 @@ cover:
 
 # check is the CI gate: vet + race-enabled tests + fuzz seed corpus +
 # a one-iteration benchmark smoke run (guards the bench layer against
-# bit-rot without paying for real measurement).
-check: vet race fuzzseed benchsmoke
+# bit-rot without paying for real measurement) + a deterministic
+# benchmark-coverage diff against the committed perf trajectory.
+check: vet race fuzzseed benchsmoke benchdiffsmoke
 
 # bench produces BENCH_hostperf.json: micro ns/op per hot function plus an
 # end-to-end `-exp all` cells/sec and simulated-MIPS measurement.
@@ -47,6 +48,18 @@ bench:
 
 benchsmoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x $(BENCH_PKGS)
+
+# benchdiff re-measures the micro benchmarks and fails on a >25% ns/op
+# regression against the committed BENCH_hostperf.json. Full measurement
+# (~1 min); run before merging perf-sensitive changes.
+benchdiff:
+	$(GO) run ./cmd/benchreport -diff BENCH_hostperf.json
+
+# benchdiffsmoke is the `make check` form: a fast run that only verifies
+# every committed benchmark still exists (timing at -benchtime=10x is too
+# noisy to gate on, so it doesn't).
+benchdiffsmoke:
+	$(GO) run ./cmd/benchreport -diff BENCH_hostperf.json -benchtime 10x -diff-names-only
 
 clean:
 	rm -f perspective-sim.state.json cover.out BENCH_hostperf.json

@@ -87,9 +87,25 @@ func main() {
 	benchtime := flag.String("benchtime", "", "go test -benchtime passthrough (empty = go default)")
 	jobs := flag.Int("jobs", 1, "worker-pool size for the end-to-end run")
 	skipE2E := flag.Bool("skip-e2e", false, "skip the -exp all end-to-end measurement")
+	diff := flag.String("diff", "", "compare a fresh micro run against this committed report instead of writing one; exit 1 on >25% ns/op regression")
+	namesOnly := flag.Bool("diff-names-only", false, "with -diff: check benchmark-name coverage only (deterministic smoke, no timing gate)")
 	flag.Parse()
 
-	rep := Report{Schema: 1, GoVersion: runtime.Version(), Benchtime: *benchtime}
+	if *diff != "" {
+		if err := runDiff(*diff, *benchtime, *namesOnly); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// Record the benchtime actually in effect: an empty flag means the go
+	// tool's default (1s per benchmark), and the report must say so rather
+	// than carry an empty string that readers can't interpret.
+	bt := *benchtime
+	if bt == "" {
+		bt = "1s"
+	}
+	rep := Report{Schema: 1, GoVersion: runtime.Version(), Benchtime: bt}
 
 	micro, err := runMicro(*benchtime)
 	if err != nil {
@@ -123,6 +139,69 @@ func main() {
 		fmt.Printf(", %.2f cells/sec, %.2f sim MIPS", rep.EndToEnd.CellsPerSec, rep.SimProbe.SimMIPS)
 	}
 	fmt.Println()
+}
+
+// regressionTolerance is the allowed fresh/committed ns/op ratio before
+// `-diff` fails: micro benchmarks on a shared host jitter, so the gate is
+// deliberately loose (25%) and meant to catch structural regressions, not
+// scheduling noise.
+const regressionTolerance = 1.25
+
+// runDiff re-runs the micro benchmarks and compares them name-by-name
+// against a committed report. namesOnly skips the timing gate and only
+// verifies that every committed benchmark still exists — a deterministic
+// smoke check cheap enough for `make check`.
+func runDiff(path, benchtime string, namesOnly bool) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(b, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(base.Micro) == 0 {
+		return fmt.Errorf("%s: no micro benchmarks to diff against", path)
+	}
+	fresh, err := runMicro(benchtime)
+	if err != nil {
+		return err
+	}
+	freshBy := make(map[string]Micro, len(fresh))
+	for _, m := range fresh {
+		freshBy[m.Name] = m
+	}
+	var missing, regressed []string
+	for _, m := range base.Micro {
+		f, ok := freshBy[m.Name]
+		if !ok {
+			missing = append(missing, m.Name)
+			continue
+		}
+		if namesOnly || m.NsPerOp <= 0 {
+			continue
+		}
+		ratio := f.NsPerOp / m.NsPerOp
+		status := "ok"
+		if ratio > regressionTolerance {
+			status = "REGRESSED"
+			regressed = append(regressed, m.Name)
+		}
+		fmt.Printf("%-55s %12.1f -> %12.1f ns/op  %+6.1f%%  %s\n",
+			m.Name, m.NsPerOp, f.NsPerOp, 100*(ratio-1), status)
+	}
+	if namesOnly {
+		fmt.Printf("benchdiff: %d committed benchmark(s), %d present\n",
+			len(base.Micro), len(base.Micro)-len(missing))
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%d committed benchmark(s) missing from fresh run: %v", len(missing), missing)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed >%d%% ns/op: %v",
+			len(regressed), int(100*(regressionTolerance-1)), regressed)
+	}
+	return nil
 }
 
 var (
@@ -170,31 +249,50 @@ func runMicro(benchtime string) ([]Micro, error) {
 	return micro, nil
 }
 
+// e2eRepeats is how many full passes the wall-clock measurements take; the
+// fastest is reported. On a loaded single-core host individual runs jitter
+// by tens of percent from scheduling bursts, and the minimum is the
+// standard noise-robust estimator for "how fast does this code go" (noise
+// only ever adds time).
+const e2eRepeats = 3
+
 // runEndToEnd times a supervised full-experiment pass (checkpointing
-// disabled: this is a measurement, not a resumable run), then reuses the
-// same harness's kernel image for a syscall-storm MIPS probe.
+// disabled: this is a measurement, not a resumable run), then boots one
+// machine for a syscall-storm MIPS probe. Both take the best of
+// e2eRepeats passes.
 func runEndToEnd(jobs int) (*EndToEnd, *SimProbe, error) {
 	opt := harness.QuickOptions()
 	opt.Jobs = jobs
-	cells0 := harness.CellsRun()
-	start := time.Now()
-	results, err := harness.Supervise(opt, harness.SupervisorOptions{Retries: 1}, io.Discard)
-	wall := time.Since(start).Seconds()
-	if err != nil {
-		return nil, nil, fmt.Errorf("end-to-end run: %w", err)
-	}
-	cells := harness.CellsRun() - cells0
-	e2e := &EndToEnd{
-		Jobs:        jobs,
-		Experiments: len(results),
-		Cells:       cells,
-		WallSeconds: wall,
-		CellsPerSec: float64(cells) / wall,
+	var e2e *EndToEnd
+	for i := 0; i < e2eRepeats; i++ {
+		cells0 := harness.CellsRun()
+		start := time.Now()
+		results, err := harness.Supervise(opt, harness.SupervisorOptions{Retries: 1}, io.Discard)
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			return nil, nil, fmt.Errorf("end-to-end run: %w", err)
+		}
+		if e2e == nil || wall < e2e.WallSeconds {
+			cells := harness.CellsRun() - cells0
+			e2e = &EndToEnd{
+				Jobs:        jobs,
+				Experiments: len(results),
+				Cells:       cells,
+				WallSeconds: wall,
+				CellsPerSec: float64(cells) / wall,
+			}
+		}
 	}
 
-	probe, err := simProbe()
-	if err != nil {
-		return nil, nil, err
+	var probe *SimProbe
+	for i := 0; i < e2eRepeats; i++ {
+		p, err := simProbe()
+		if err != nil {
+			return nil, nil, err
+		}
+		if probe == nil || p.WallSeconds < probe.WallSeconds {
+			probe = p
+		}
 	}
 	return e2e, probe, nil
 }
@@ -204,7 +302,7 @@ func runEndToEnd(jobs int) (*EndToEnd, *SimProbe, error) {
 // second — the "simulated MIPS" figure of merit for the issue loop.
 func simProbe() (*SimProbe, error) {
 	h := harness.New(harness.QuickOptions())
-	k, err := kernel.New(kernel.DefaultConfig(), h.Img)
+	k, err := h.BootMachine(kernel.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -24,13 +24,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/harness"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "perspective-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	// Each experiment cell boots a fresh 32MB machine, so the live heap
 	// cycles hard; the default GOGC=100 re-walks it after every boot. A
 	// higher target trades bounded extra memory for fewer collections —
@@ -49,6 +58,8 @@ func main() {
 	retries := flag.Int("retries", 1, "attempts per experiment under -exp all (reseeded each retry)")
 	state := flag.String("state", "perspective-sim.state.json", "checkpoint file for -exp all")
 	resume := flag.Bool("resume", false, "skip experiments already completed in the checkpoint file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -59,14 +70,40 @@ func main() {
 		fmt.Printf("%-12s %s\n", "all", "everything above, supervised")
 		fmt.Println("\ndefaults: -seed 1, -timeout 0 (none), -retries 1,")
 		fmt.Println("          -state perspective-sim.state.json (with -resume to skip finished cells)")
-		return
+		return nil
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "perspective-sim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "perspective-sim: memprofile:", err)
+			}
+		}()
 	}
 
 	opt := harness.QuickOptions()
 	if *scale == "paper" {
 		opt = harness.PaperOptions()
 	} else if *scale != "quick" {
-		fatal(fmt.Errorf("unknown scale %q", *scale))
+		return fmt.Errorf("unknown scale %q", *scale)
 	}
 	if *iters > 0 {
 		opt.LEBenchIters = *iters
@@ -88,25 +125,15 @@ func main() {
 		}
 		results, err := harness.Supervise(opt, sup, w)
 		harness.PrintSupervisorReport(w, results)
-		if err != nil {
-			fatal(err)
-		}
-		return
+		return err
 	}
 
 	e, ok := harness.FindExperiment(*exp)
 	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q (try -list)", *exp))
+		return fmt.Errorf("unknown experiment %q (try -list)", *exp)
 	}
 	h := harness.New(opt)
 	fmt.Fprintf(w, "Perspective reproduction — kernel image: %d functions, %d instructions\n",
 		h.Img.NumFuncs(), h.Img.NumInsts())
-	if err := e.Run(h, w); err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "perspective-sim:", err)
-	os.Exit(1)
+	return e.Run(h, w)
 }

@@ -80,6 +80,31 @@ func New(frames uint64) *Allocator {
 	return a
 }
 
+// Clone deep-copies the allocator, preserving the exact LIFO pop order of
+// every freelist — a clone hands out the same frames for the same call
+// sequence as the original, which is what makes machine snapshots
+// observationally identical to fresh boots. The receiver is not mutated, so
+// concurrent clones of an immutable template are safe.
+func (a *Allocator) Clone() *Allocator {
+	c := &Allocator{
+		frames:    a.frames,
+		allocated: make(map[uint64]block, len(a.allocated)),
+		freePages: a.freePages,
+		stats:     a.stats,
+	}
+	for o := range a.free {
+		c.free[o] = make(map[uint64]bool, len(a.free[o]))
+		for pfn := range a.free[o] {
+			c.free[o][pfn] = true
+		}
+		c.stack[o] = append([]uint64(nil), a.stack[o]...)
+	}
+	for pfn, b := range a.allocated {
+		c.allocated[pfn] = b
+	}
+	return c
+}
+
 // Frames reports the managed frame count.
 func (a *Allocator) Frames() uint64 { return a.frames }
 

@@ -76,8 +76,13 @@ type Cache struct {
 	tagShift  uint // lineShift + log2(Sets), precomputed off the hot path
 	setMask   uint64
 	ways      []way
-	clock     uint64
-	stats     Stats
+	// mru holds each set's most-recently-hit/filled way, probed before the
+	// full scan. Purely a host-side shortcut: tags are unique within a set,
+	// so a hint hit returns exactly what the scan would have found, and
+	// misses still scan every way in index order (victim choice unchanged).
+	mru   []int32
+	clock uint64
+	stats Stats
 }
 
 // New creates a cache. Sets must be a power of two.
@@ -101,6 +106,7 @@ func New(cfg Config) *Cache {
 		tagShift:  shift + log2(uint64(cfg.Sets)),
 		setMask:   uint64(cfg.Sets - 1),
 		ways:      make([]way, cfg.Sets*cfg.Ways),
+		mru:       make([]int32, cfg.Sets),
 	}
 }
 
@@ -141,8 +147,13 @@ func (c *Cache) SetOf(addr uint64) int {
 func (c *Cache) Lookup(addr uint64) bool {
 	set, tag := c.index(addr)
 	base := set * c.cfg.Ways
-	for _, e := range c.ways[base : base+c.cfg.Ways] {
-		if e.tag == tag+1 {
+	ws := c.ways[base : base+c.cfg.Ways]
+	tag1 := tag + 1
+	if h := int(c.mru[set]); h < len(ws) && ws[h].tag == tag1 {
+		return true
+	}
+	for _, e := range ws {
+		if e.tag == tag1 {
 			return true
 		}
 	}
@@ -158,29 +169,42 @@ func (c *Cache) Access(addr uint64, updateLRU bool) bool {
 	c.stats.Accesses++
 	set, tag := c.index(addr)
 	base := set * c.cfg.Ways
-	victim := -1
-	var victimStamp uint64
-	hasInvalid := false
-	for w := 0; w < c.cfg.Ways; w++ {
-		e := &c.ways[base+w]
-		if e.tag == tag+1 {
+	ws := c.ways[base : base+c.cfg.Ways]
+	tag1 := tag + 1
+	if h := int(c.mru[set]); h < len(ws) {
+		if e := &ws[h]; e.tag == tag1 {
 			c.stats.Hits++
 			if updateLRU {
 				e.stamp = c.clock
 			}
 			return true
 		}
+	}
+	victim := -1
+	var victimStamp uint64
+	hasInvalid := false
+	for w := range ws {
+		e := &ws[w]
+		if e.tag == tag1 {
+			c.stats.Hits++
+			if updateLRU {
+				e.stamp = c.clock
+			}
+			c.mru[set] = int32(w)
+			return true
+		}
 		switch {
 		case e.tag == 0 && !hasInvalid:
-			victim, hasInvalid = base+w, true
+			victim, hasInvalid = w, true
 		case !hasInvalid && (victim == -1 || e.stamp < victimStamp):
-			victim, victimStamp = base+w, e.stamp
+			victim, victimStamp = w, e.stamp
 		}
 	}
 	// Miss: fill. Even speculative fills happen on baseline hardware — this
 	// is the transmission step of every PoC in internal/attack.
 	c.stats.Fills++
-	c.ways[victim] = way{tag: tag + 1, stamp: c.clock}
+	ws[victim] = way{tag: tag1, stamp: c.clock}
+	c.mru[set] = int32(victim)
 	return false
 }
 
@@ -189,8 +213,10 @@ func (c *Cache) Access(addr uint64, updateLRU bool) bool {
 func (c *Cache) Touch(addr uint64) {
 	set, tag := c.index(addr)
 	base := set * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		if e := &c.ways[base+w]; e.tag == tag+1 {
+	ws := c.ways[base : base+c.cfg.Ways]
+	tag1 := tag + 1
+	for w := range ws {
+		if e := &ws[w]; e.tag == tag1 {
 			c.clock++
 			e.stamp = c.clock
 			return

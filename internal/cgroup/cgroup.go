@@ -49,6 +49,32 @@ func NewManager() *Manager {
 	return m
 }
 
+// Clone deep-copies the hierarchy. Parent links are rebuilt onto the new
+// Group values; a parent always has a smaller ID than its children (Create
+// allocates IDs monotonically and requires the parent to exist), so cloning
+// in ID order sees every parent before its children. The receiver is not
+// mutated, so concurrent clones of an immutable template are safe.
+func (m *Manager) Clone() *Manager {
+	c := &Manager{
+		byID:   make(map[sec.Ctx]*Group, len(m.byID)),
+		byName: make(map[string]*Group, len(m.byName)),
+		nextID: m.nextID,
+	}
+	for _, g := range m.Groups() {
+		ng := &Group{ID: g.ID, Name: g.Name, PagesCharged: g.PagesCharged}
+		if g.Parent != nil {
+			ng.Parent = c.byID[g.Parent.ID]
+		}
+		c.byID[ng.ID] = ng
+		if g == m.root {
+			c.root = ng
+		} else {
+			c.byName[ng.Name] = ng
+		}
+	}
+	return c
+}
+
 // Root returns the root group.
 func (m *Manager) Root() *Group { return m.root }
 

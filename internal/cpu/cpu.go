@@ -201,6 +201,14 @@ type Core struct {
 	Policy Policy
 	Tracer Tracer
 
+	// Kernel-text fast path: a contiguous decoded-instruction array the
+	// fetch loop indexes directly, bypassing the CodeSource interface call
+	// for the common case (kernel code dominates every workload). Filled by
+	// SetKernelText; fetches outside it fall back to Code.FetchInst.
+	ktextBase  uint64
+	ktext      []isa.Inst
+	ktextValid []bool
+
 	// Fault, when set, injects microarchitectural faults: spurious
 	// squashes at resolved branches and delayed view-context switches.
 	Fault FaultHook
@@ -257,6 +265,27 @@ func New(cfg Config, code CodeSource, mem *memsim.Mem, h *cache.Hierarchy, bp *p
 		commitRing: make([]float64, cfg.ROB),
 	}
 }
+
+// SetKernelText installs the decoded kernel image for direct-indexed fetch.
+// flat is indexed by (va-base)/InstBytes; valid marks linked slots. The
+// arrays are aliased, not copied — they must stay immutable while the core
+// runs (the kernel image already guarantees this). Purely a host-side fetch
+// shortcut: results are identical to routing every fetch through Code.
+func (c *Core) SetKernelText(base uint64, flat []isa.Inst, valid []bool) {
+	c.ktextBase, c.ktext, c.ktextValid = base, flat, valid
+}
+
+// fetch resolves one instruction, preferring the direct kernel-text array.
+// A pc below the base wraps the subtraction to a huge index and takes the
+// slow path; the split keeps the common case within the inlining budget.
+func (c *Core) fetch(pc uint64) *isa.Inst {
+	if idx := (pc - c.ktextBase) / isa.InstBytes; pc%isa.InstBytes == 0 && idx < uint64(len(c.ktext)) && c.ktextValid[idx] {
+		return &c.ktext[idx]
+	}
+	return c.fetchSlow(pc)
+}
+
+func (c *Core) fetchSlow(pc uint64) *isa.Inst { return c.Code.FetchInst(pc) }
 
 // Now reports the current simulated cycle.
 func (c *Core) Now() float64 { return c.now }
@@ -338,7 +367,9 @@ func (c *Core) commit(t float64) {
 	}
 	c.lastCommit = t
 	c.commitRing[c.commitIdx] = t
-	c.commitIdx = (c.commitIdx + 1) % len(c.commitRing)
+	if c.commitIdx++; c.commitIdx == len(c.commitRing) {
+		c.commitIdx = 0
+	}
 	// The slot we will overwrite ROB instructions from now is the commit
 	// time of the instruction exactly ROB ago; fetch stalls behind it.
 	if oldest := c.commitRing[c.commitIdx]; c.now < oldest {
@@ -347,12 +378,15 @@ func (c *Core) commit(t float64) {
 }
 
 // fetchTiming charges I-cache miss latency when fetch crosses into a new
-// 64-byte line.
+// 64-byte line. The same-line case stays inlinable; the crossing pays a
+// call.
 func (c *Core) fetchTiming(pc uint64) {
-	line := pc >> 6
-	if line == c.lastFetchLine {
-		return
+	if line := pc >> 6; line != c.lastFetchLine {
+		c.fetchTimingLine(pc, line)
 	}
+}
+
+func (c *Core) fetchTimingLine(pc, line uint64) {
 	c.lastFetchLine = line
 	lat, _ := c.H.AccessInst(pc &^ 63)
 	if lat > c.H.L1Lat {
@@ -369,12 +403,13 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 	baseDepth := len(c.callStack)
 	pc := entry
 	c.traceEnter(entry)
+	fetchSlot := 1.0 / float64(c.Cfg.Width)
 	for {
 		if res.Insts >= uint64(maxInsts) {
 			res.Truncated = true
 			break
 		}
-		inst := c.Code.FetchInst(pc)
+		inst := c.fetch(pc)
 		if inst == nil || (!c.kernelMode && memsim.IsKernel(pc)) {
 			// Unmapped, or user-mode fetch of kernel text (SMEP).
 			res.Fault = true
@@ -383,7 +418,7 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 			break
 		}
 		c.fetchTiming(pc)
-		c.now += 1.0 / float64(c.Cfg.Width)
+		c.now += fetchSlot
 		res.Insts++
 		c.Stats.Insts++
 

@@ -60,7 +60,7 @@ func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
 	defer func() { c.tstack = stack[:0] }()
 
 	for n := 0; n < budget; n++ {
-		inst := c.Code.FetchInst(pc)
+		inst := c.fetch(pc)
 		if inst == nil || (!c.kernelMode && memsimIsKernel(pc)) {
 			return // transient fetch fault (or SMEP): quiet squash
 		}

@@ -249,6 +249,38 @@ func NewDir() *Dir {
 	}
 }
 
+// Clone deep-copies the directory's architectural state: every context's
+// DSVMT and the unknown-allocation refcounts. The hardware DSV cache starts
+// cold (as after NewDir) — machine snapshots are taken on pristine post-boot
+// machines whose caches have never been filled, so a cold cache is exactly
+// the snapshotted state. The receiver is not mutated, so concurrent clones
+// of an immutable template are safe.
+func (d *Dir) Clone() *Dir {
+	c := NewDir()
+	c.Walks = d.Walks
+	for ctx, t := range d.tables {
+		c.tables[ctx] = t.clone()
+	}
+	for page, n := range d.owners {
+		c.owners[page] = n
+	}
+	return c
+}
+
+// clone deep-copies one context's DSVMT.
+func (t *Table) clone() *Table {
+	c := &Table{ctx: t.ctx, roots: make(map[uint64]*mid, len(t.roots)), pages: t.pages}
+	for key, m := range t.roots {
+		cm := &mid{full: m.full, leaves: make(map[uint64]*midLeaf, len(m.leaves))}
+		for lk, l := range m.leaves {
+			cl := *l
+			cm.leaves[lk] = &cl
+		}
+		c.roots[key] = cm
+	}
+	return c
+}
+
 // Known reports whether the page containing va belongs to at least one DSV.
 // Pages in no DSV are "unknown allocations" (boot-time globals, per-cpu
 // areas) that Perspective conservatively blocks by default.

@@ -71,7 +71,7 @@ func (h *Harness) LEBenchPerspective(blockUnknown bool) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	k, err := kernel.New(kernel.DefaultConfig(), h.Img)
+	k, err := h.BootMachine(kernel.DefaultConfig())
 	if err != nil {
 		return 0, err
 	}
@@ -101,7 +101,7 @@ func (h *Harness) ReadWorkloadPerspective(replicate bool) (float64, error) {
 	}
 	cfg := kernel.DefaultConfig()
 	cfg.ReplicateFOps = replicate
-	k, err := kernel.New(cfg, h.Img)
+	k, err := h.BootMachine(cfg)
 	if err != nil {
 		return 0, err
 	}

@@ -41,7 +41,14 @@ type LEBenchCell struct {
 // before the cells it normalizes; if UNSAFE is not among the configured
 // schemes the figure cannot be normalized at all and Fig92 fails fast
 // with ErrMissingBaseline.
+//
+// The grid is memoized on the harness: hw-compare re-derives the §9.1
+// summary from the same cells fig9.2 printed, and both must agree anyway.
 func (h *Harness) Fig92() ([]LEBenchCell, error) {
+	return h.fig92Memo.do(h.fig92Grid)
+}
+
+func (h *Harness) fig92Grid() ([]LEBenchCell, error) {
 	if !hasScheme(h.Opt.Schemes, schemes.Unsafe) {
 		return nil, fmt.Errorf("fig9.2: %w", ErrMissingBaseline)
 	}
@@ -217,7 +224,13 @@ type AppCell struct {
 // parallel phases — the UNSAFE baseline cells first (they define each
 // app's userspace think-time), then every other scheme — so no cell's
 // result ever depends on which cells happened to run before it.
+//
+// Like Fig92, the grid is memoized on the harness (hw-compare reuses it).
 func (h *Harness) Fig93() ([]AppCell, error) {
+	return h.fig93Memo.do(h.fig93Grid)
+}
+
+func (h *Harness) fig93Grid() ([]AppCell, error) {
 	if !hasScheme(h.Opt.Schemes, schemes.Unsafe) {
 		return nil, fmt.Errorf("fig9.3: %w", ErrMissingBaseline)
 	}
@@ -685,7 +698,7 @@ func (h *Harness) PoCMatrix() ([]PoCRow, error) {
 	}
 	rows, errs := runGrid(h, specs, func(_ context.Context, i int, _ CellSpec) (PoCRow, error) {
 		a, kind := ids[i].a, ids[i].kind
-		k, err := kernel.New(kernel.DefaultConfig(), h.Img)
+		k, err := h.BootMachine(kernel.DefaultConfig())
 		if err != nil {
 			return PoCRow{}, err
 		}

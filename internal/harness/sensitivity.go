@@ -46,7 +46,7 @@ func (h *Harness) sensitivityCell(w Workload) (SensitivityRow, error) {
 	run := func(blockUnknown, secureSlab bool) (*kernel.Kernel, float64, error) {
 		cfg := kernel.DefaultConfig()
 		cfg.SecureSlab = secureSlab
-		k, err := kernel.New(cfg, h.Img)
+		k, err := h.BootMachine(cfg)
 		if err != nil {
 			return nil, 0, err
 		}

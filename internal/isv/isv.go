@@ -196,6 +196,21 @@ func NewDirWithCache(c *viewcache.Cache) *Dir {
 	}
 }
 
+// Clone deep-copies the directory's architectural state: every installed
+// view. The hardware ISV cache starts cold (as after NewDir) — machine
+// snapshots are taken on pristine post-boot machines whose caches have never
+// been filled, so a cold cache is exactly the snapshotted state. The
+// receiver is not mutated, so concurrent clones of an immutable template are
+// safe.
+func (d *Dir) Clone() *Dir {
+	c := NewDir()
+	c.Walks = d.Walks
+	for ctx, v := range d.views {
+		c.views[ctx] = v.Clone()
+	}
+	return c
+}
+
 // Install binds a view to a context (at application startup, §5.4). It
 // replaces any previous view and drops that context's cached entries.
 func (d *Dir) Install(ctx sec.Ctx, v *View) {

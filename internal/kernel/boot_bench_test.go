@@ -1,0 +1,32 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/kimage"
+)
+
+func BenchmarkBootFresh(b *testing.B) {
+	img := kimage.MustBuild(kimage.TestSpec())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, err := New(DefaultConfig(), img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k.Release()
+	}
+}
+
+func BenchmarkBootClone(b *testing.B) {
+	img := kimage.MustBuild(kimage.TestSpec())
+	s, err := NewSnapshot(DefaultConfig(), img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := s.Clone()
+		k.Release()
+	}
+}

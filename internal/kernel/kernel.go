@@ -134,10 +134,26 @@ func New(cfg Config, img *kimage.Image) (*Kernel, error) {
 		futexWaits: make(map[uint64][]*Task),
 		listeners:  make(map[uint64]listener),
 	}
-	k.Mem = &memsim.Mem{Phys: phys, Tr: &memsim.FixedTranslator{Size: phys.Bytes(), AllowKernel: true}}
+	k.wireHardware()
+
+	if err := k.boot(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// wireHardware attaches the per-machine hardware model — memory view, core,
+// tracer — and the slab→DSV observation hooks. New and Snapshot.Clone share
+// it: a machine's core, cache hierarchy, predictors and trace recorder are
+// always built in their architectural reset state (boot never runs the
+// core, so a freshly constructed set is exactly the post-boot state a
+// snapshot captures).
+func (k *Kernel) wireHardware() {
+	k.Mem = &memsim.Mem{Phys: k.Phys, Tr: &memsim.FixedTranslator{Size: k.Phys.Bytes(), AllowKernel: true}}
 	h := cache.NewDefaultHierarchy()
 	k.Core = cpu.New(cpu.DefaultConfig(), &codeSource{k: k}, k.Mem, h, predict.New())
-	k.Trace = ktrace.New(img, func() sec.Ctx { return k.Core.Ctx() })
+	k.Core.SetKernelText(k.Img.Text())
+	k.Trace = ktrace.New(k.Img, func() sec.Ctx { return k.Core.Ctx() })
 	k.Core.Tracer = k.Trace
 
 	// Slab pages join/leave the owning context's DSV as they move.
@@ -147,11 +163,6 @@ func New(cfg Config, img *kimage.Image) (*Kernel, error) {
 	k.Slab.OnPageReturn = func(pfn uint64, ctx sec.Ctx) {
 		k.DSV.Revoke(ctx, memsim.DirectMapVA(pfn*memsim.PageSize), memsim.PageSize)
 	}
-
-	if err := k.boot(); err != nil {
-		return nil, err
-	}
-	return k, nil
 }
 
 // Release returns the machine's physical-memory backing store to the

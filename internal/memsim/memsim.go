@@ -51,30 +51,65 @@ func IsKernel(va uint64) bool { return va >= DirectMapBase }
 // PageBase returns the base address of the page containing va.
 func PageBase(va uint64) uint64 { return va &^ (PageSize - 1) }
 
-// Phys is the simulated physical memory: a flat array of frames. All
+// Granule geometry: physical memory is managed in 64 KB granules — the unit
+// of both dirty tracking (scrub-on-reuse) and copy-on-write sharing between
+// a frozen snapshot and its clones.
+const (
+	granShift = 16
+	granSize  = 1 << granShift
+	granMask  = granSize - 1
+)
+
+// Phys is the simulated physical memory: a directory of 64 KB granules. All
 // simulated loads and stores ultimately land here, so a speculatively leaked
 // byte is a byte some victim really stored.
+//
+// A Phys comes in two lifecycles:
+//
+//   - A *fresh* store (NewPhys) owns one contiguous backing array; Release
+//     recycles it through a pool, scrubbing only the granules that were
+//     written.
+//   - A *clone* (PhysSnapshot.Clone) shares every granule read-only with an
+//     immutable snapshot; the first write to a granule copies it into
+//     private storage (copy-on-write), so a clone pays host memory only for
+//     what it actually touches.
 type Phys struct {
-	data   []byte
+	// gr is the granule directory: gr[pa>>granShift] holds the granule's
+	// bytes. Every entry is exactly granSize long (backing is padded), so
+	// any access that stays within one simulated page stays within one
+	// granule.
+	gr     [][]byte
 	frames int
-	// dirty has one bit per 64 KB granule that has been written since the
-	// backing store was last known all-zero. Boots dominate the harness's
-	// host time when every cell zero-allocates a fresh machine; recycling
-	// a released Phys only has to re-zero the granules a cell actually
-	// touched (typically a few percent of the machine).
+	size   uint64 // addressable bytes: frames * PageSize
+	// backing is the contiguous store of a fresh (non-clone) Phys; nil for
+	// clones and for frozen stores.
+	backing []byte
+	// dirty has one bit per granule written since the store was last known
+	// all-zero (fresh stores) or since the clone was made (clones).
 	dirty []uint64
+	// shared has one bit per granule still shared read-only with snap; the
+	// first write copies the granule and clears the bit. nil unless this
+	// Phys is a clone.
+	shared []uint64
+	// snap is the snapshot this clone was made from (nil otherwise); it
+	// keeps the shared granules alive.
+	snap *PhysSnapshot
 }
 
-// dirtyShift is the log2 of the dirty-tracking granule (64 KB).
-const dirtyShift = 16
-
-// physPool recycles released backing stores across machine boots. Purely a
-// host-side allocation cache: a recycled store is scrubbed back to all-zero
-// before reuse, so a booted machine's simulated state is byte-identical
-// whether its memory is fresh or recycled.
+// physPool recycles released fresh backing stores across machine boots.
+// Purely a host-side allocation cache: a recycled store is scrubbed back to
+// all-zero before reuse, so a booted machine's simulated state is
+// byte-identical whether its memory is fresh or recycled.
 var physPool sync.Pool
 
-// NewPhys creates a physical memory of n frames.
+// granulePool recycles the private granules of released clones. No scrub is
+// needed: privatizing a granule overwrites all of it with the snapshot's
+// contents before any read.
+var granulePool = sync.Pool{
+	New: func() any { return make([]byte, granSize) },
+}
+
+// NewPhys creates a physical memory of n frames, all zero.
 func NewPhys(frames int) *Phys {
 	if frames <= 0 {
 		panic("memsim: frames must be positive")
@@ -87,39 +122,112 @@ func NewPhys(frames int) *Phys {
 		}
 		// Different geometry (quick vs. paper scale): drop it.
 	}
-	granules := (frames*PageSize + (1 << dirtyShift) - 1) >> dirtyShift
+	size := uint64(frames) * PageSize
+	granules := int((size + granMask) >> granShift)
+	backing := make([]byte, granules<<granShift)
+	gr := make([][]byte, granules)
+	for g := range gr {
+		gr[g] = backing[g<<granShift : (g+1)<<granShift : (g+1)<<granShift]
+	}
 	return &Phys{
-		data:   make([]byte, frames*PageSize),
-		frames: frames,
-		dirty:  make([]uint64, (granules+63)/64),
+		gr:      gr,
+		frames:  frames,
+		size:    size,
+		backing: backing,
+		dirty:   make([]uint64, (granules+63)/64),
 	}
 }
 
-// Release returns the backing store to the recycling pool. The caller must
+// Release returns the backing store to the recycling layer. The caller must
 // be completely done with the machine: any later access through a retained
 // pointer would read (or corrupt) an unrelated future machine's memory.
-func (p *Phys) Release() { physPool.Put(p) }
+// Fresh stores re-enter the boot pool whole; a clone returns its privatized
+// granules to the granule pool. Releasing a frozen store is a no-op (its
+// granules now belong to the snapshot).
+func (p *Phys) Release() {
+	switch {
+	case p.snap != nil:
+		for g := range p.gr {
+			if p.shared[g>>6]&(1<<(uint(g)&63)) == 0 {
+				granulePool.Put(p.gr[g])
+			}
+		}
+		p.gr, p.shared, p.dirty, p.snap = nil, nil, nil, nil
+	case p.backing != nil:
+		physPool.Put(p)
+	}
+}
 
 // scrub zeroes every granule written since the store was last all-zero.
 func (p *Phys) scrub() {
 	for w, word := range p.dirty {
 		for word != 0 {
-			g := uint64(w*64 + bits.TrailingZeros64(word))
+			g := w*64 + bits.TrailingZeros64(word)
 			word &= word - 1
-			off := g << dirtyShift
-			end := off + (1 << dirtyShift)
-			if end > uint64(len(p.data)) {
-				end = uint64(len(p.data))
-			}
-			clear(p.data[off:end])
+			clear(p.gr[g])
 		}
 		p.dirty[w] = 0
 	}
 }
 
-// mark records a write to the granule containing pa.
+// PhysSnapshot is an immutable frozen image of a physical memory's contents.
+// Clones share its granules copy-on-write; concurrent clones are safe (the
+// snapshot is never written).
+type PhysSnapshot struct {
+	gr     [][]byte
+	frames int
+	size   uint64
+}
+
+// Freeze converts p into an immutable snapshot, consuming it: p is poisoned
+// (any later access panics) and must not be Released — its granules now
+// belong to the snapshot for the snapshot's lifetime. Freezing a clone is
+// allowed; granules still shared with its parent snapshot stay shared.
+func (p *Phys) Freeze() *PhysSnapshot {
+	s := &PhysSnapshot{gr: p.gr, frames: p.frames, size: p.size}
+	p.gr, p.backing, p.dirty, p.shared, p.snap = nil, nil, nil, nil, nil
+	return s
+}
+
+// Frames reports the snapshot's frame count.
+func (s *PhysSnapshot) Frames() int { return s.frames }
+
+// Clone creates a new Phys whose contents equal the snapshot's. All granules
+// start shared; the first write to a granule copies it (64 KB) into private
+// storage. Safe to call concurrently.
+func (s *PhysSnapshot) Clone() *Phys {
+	granules := len(s.gr)
+	words := (granules + 63) / 64
+	shared := make([]uint64, words)
+	for g := 0; g < granules; g++ {
+		shared[g>>6] |= 1 << (uint(g) & 63)
+	}
+	return &Phys{
+		gr:     append([][]byte(nil), s.gr...),
+		frames: s.frames,
+		size:   s.size,
+		dirty:  make([]uint64, words),
+		shared: shared,
+		snap:   s,
+	}
+}
+
+// privatize gives the clone its own copy of granule g before a write.
+func (p *Phys) privatize(g uint64) {
+	buf := granulePool.Get().([]byte)
+	copy(buf, p.gr[g])
+	p.gr[g] = buf
+	p.shared[g>>6] &^= 1 << (g & 63)
+}
+
+// mark records a write to the granule containing pa, breaking copy-on-write
+// sharing first. Every mutating accessor calls mark (or markRange) before
+// touching the bytes.
 func (p *Phys) mark(pa uint64) {
-	g := pa >> dirtyShift
+	g := pa >> granShift
+	if p.shared != nil && p.shared[g>>6]&(1<<(g&63)) != 0 {
+		p.privatize(g)
+	}
 	p.dirty[g>>6] |= 1 << (g & 63)
 }
 
@@ -128,7 +236,10 @@ func (p *Phys) markRange(pa, n uint64) {
 	if n == 0 {
 		return
 	}
-	for g := pa >> dirtyShift; g <= (pa+n-1)>>dirtyShift; g++ {
+	for g := pa >> granShift; g <= (pa+n-1)>>granShift; g++ {
+		if p.shared != nil && p.shared[g>>6]&(1<<(g&63)) != 0 {
+			p.privatize(g)
+		}
 		p.dirty[g>>6] |= 1 << (g & 63)
 	}
 }
@@ -137,30 +248,36 @@ func (p *Phys) markRange(pa, n uint64) {
 func (p *Phys) Frames() int { return p.frames }
 
 // Bytes reports total physical bytes.
-func (p *Phys) Bytes() uint64 { return uint64(len(p.data)) }
+func (p *Phys) Bytes() uint64 { return p.size }
 
 // Contains reports whether pa is a valid physical address.
-func (p *Phys) Contains(pa uint64) bool { return pa < uint64(len(p.data)) }
+func (p *Phys) Contains(pa uint64) bool { return pa < p.size }
 
 // Read64 reads 8 bytes at pa (little endian). It panics on out-of-range
-// addresses: callers must translate and validate first.
+// addresses: callers must translate and validate first. (An 8-byte access
+// never straddles a granule: accesses are page-confined and granules are
+// page-aligned.)
 func (p *Phys) Read64(pa uint64) uint64 {
-	return binary.LittleEndian.Uint64(p.data[pa : pa+8])
+	g := p.gr[pa>>granShift]
+	o := pa & granMask
+	return binary.LittleEndian.Uint64(g[o : o+8])
 }
 
 // Write64 writes 8 bytes at pa.
 func (p *Phys) Write64(pa uint64, v uint64) {
 	p.mark(pa)
-	binary.LittleEndian.PutUint64(p.data[pa:pa+8], v)
+	g := p.gr[pa>>granShift]
+	o := pa & granMask
+	binary.LittleEndian.PutUint64(g[o:o+8], v)
 }
 
 // Read8 reads one byte.
-func (p *Phys) Read8(pa uint64) byte { return p.data[pa] }
+func (p *Phys) Read8(pa uint64) byte { return p.gr[pa>>granShift][pa&granMask] }
 
 // Write8 writes one byte.
 func (p *Phys) Write8(pa uint64, v byte) {
 	p.mark(pa)
-	p.data[pa] = v
+	p.gr[pa>>granShift][pa&granMask] = v
 }
 
 // ZeroFrame clears the frame containing pa, as the kernel does before handing
@@ -168,26 +285,44 @@ func (p *Phys) Write8(pa uint64, v byte) {
 func (p *Phys) ZeroFrame(pfn uint64) {
 	off := pfn * PageSize
 	p.mark(off)
-	clear(p.data[off : off+PageSize])
+	g := p.gr[off>>granShift]
+	o := off & granMask
+	clear(g[o : o+PageSize])
 }
 
 // CopyOut fills dst with the bytes starting at pa. Callers must have
 // translated and bounds-checked first (it panics like Read64 on
 // out-of-range addresses).
 func (p *Phys) CopyOut(pa uint64, dst []byte) {
-	copy(dst, p.data[pa:pa+uint64(len(dst))])
+	for len(dst) > 0 {
+		g := p.gr[pa>>granShift]
+		o := pa & granMask
+		n := copy(dst, g[o:])
+		dst = dst[n:]
+		pa += uint64(n)
+	}
 }
 
 // CopyIn writes data starting at pa.
 func (p *Phys) CopyIn(pa uint64, data []byte) {
 	p.markRange(pa, uint64(len(data)))
-	copy(p.data[pa:pa+uint64(len(data))], data)
+	for len(data) > 0 {
+		g := p.gr[pa>>granShift]
+		o := pa & granMask
+		n := copy(g[o:], data)
+		data = data[n:]
+		pa += uint64(n)
+	}
 }
 
-// CopyFrame copies frame src to frame dst (fork, COW break).
+// CopyFrame copies frame src to frame dst (fork, COW break). A 4 KB frame
+// never straddles a 64 KB granule.
 func (p *Phys) CopyFrame(dst, src uint64) {
-	p.mark(dst * PageSize)
-	copy(p.data[dst*PageSize:(dst+1)*PageSize], p.data[src*PageSize:(src+1)*PageSize])
+	dpa, spa := dst*PageSize, src*PageSize
+	p.mark(dpa)
+	d := p.gr[dpa>>granShift]
+	s := p.gr[spa>>granShift]
+	copy(d[dpa&granMask:(dpa&granMask)+PageSize], s[spa&granMask:(spa&granMask)+PageSize])
 }
 
 // DirectMapVA returns the direct-map virtual address of physical address pa.

@@ -155,15 +155,15 @@ func TestPhysRecyclingScrub(t *testing.T) {
 	p.Write64(0, 0xdeadbeef)
 	p.Write8(PageSize+1, 0xff)
 	p.CopyIn(uint64(frames)*PageSize-9, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
-	p.CopyIn((1<<dirtyShift)-4, []byte{1, 2, 3, 4, 5, 6, 7, 8}) // straddles a granule boundary
+	p.CopyIn((1<<granShift)-4, []byte{1, 2, 3, 4, 5, 6, 7, 8}) // straddles a granule boundary
 	p.Write8(2*PageSize, 7)
 	p.ZeroFrame(2) // zeroes but still marks the granule
 	p.CopyFrame(3, 0)
 
 	p.scrub()
-	for i, b := range p.data {
-		if b != 0 {
-			t.Fatalf("byte %#x = %#x after scrub, want 0", i, b)
+	for pa := uint64(0); pa < p.Bytes(); pa++ {
+		if b := p.Read8(pa); b != 0 {
+			t.Fatalf("byte %#x = %#x after scrub, want 0", pa, b)
 		}
 	}
 	for i, w := range p.dirty {
@@ -184,9 +184,9 @@ func TestPhysPoolRoundTrip(t *testing.T) {
 	if q.Frames() != frames {
 		t.Fatalf("Frames() = %d, want %d", q.Frames(), frames)
 	}
-	for i, b := range q.data {
-		if b != 0 {
-			t.Fatalf("recycled byte %#x = %#x, want 0", i, b)
+	for pa := uint64(0); pa < q.Bytes(); pa++ {
+		if b := q.Read8(pa); b != 0 {
+			t.Fatalf("recycled byte %#x = %#x, want 0", pa, b)
 		}
 	}
 	// Mismatched geometry must never alias the pooled store.
@@ -195,9 +195,9 @@ func TestPhysPoolRoundTrip(t *testing.T) {
 	if r.Frames() != frames*2 {
 		t.Fatalf("Frames() = %d, want %d", r.Frames(), frames*2)
 	}
-	for i, b := range r.data {
-		if b != 0 {
-			t.Fatalf("fresh byte %#x = %#x, want 0", i, b)
+	for pa := uint64(0); pa < r.Bytes(); pa++ {
+		if b := r.Read8(pa); b != 0 {
+			t.Fatalf("fresh byte %#x = %#x, want 0", pa, b)
 		}
 	}
 }

@@ -1,0 +1,156 @@
+package memsim
+
+import "testing"
+
+// freezeFilled builds a Phys with a recognizable pattern and freezes it.
+func freezeFilled(t *testing.T, frames int) (*PhysSnapshot, func(pa uint64) byte) {
+	t.Helper()
+	p := NewPhys(frames)
+	pat := func(pa uint64) byte { return byte(pa*7 + 3) }
+	for pa := uint64(0); pa < p.Bytes(); pa += 997 {
+		p.Write8(pa, pat(pa))
+	}
+	snap := p.Freeze()
+	want := func(pa uint64) byte {
+		if pa%997 == 0 {
+			return pat(pa)
+		}
+		return 0
+	}
+	return snap, want
+}
+
+func TestSnapshotCloneSeesFrozenBytes(t *testing.T) {
+	snap, want := freezeFilled(t, 64)
+	c := snap.Clone()
+	defer c.Release()
+	if c.Frames() != snap.Frames() {
+		t.Fatalf("clone frames = %d, want %d", c.Frames(), snap.Frames())
+	}
+	for pa := uint64(0); pa < c.Bytes(); pa += 131 {
+		if got := c.Read8(pa); got != want(pa) {
+			t.Fatalf("clone[%#x] = %d, want %d", pa, got, want(pa))
+		}
+	}
+}
+
+func TestSnapshotCloneWritesDoNotBleed(t *testing.T) {
+	snap, want := freezeFilled(t, 64)
+	a := snap.Clone()
+	b := snap.Clone()
+	defer a.Release()
+	defer b.Release()
+
+	// Write through every accessor in clone a (distinct frames, so no
+	// write masks another); clone b and a third, later clone must still
+	// see the frozen bytes.
+	a.Write8(100, 0xAA)
+	a.Write64(4*PageSize, 0xDEADBEEF)
+	a.ZeroFrame(2)
+	a.CopyIn(3*PageSize, []byte{1, 2, 3, 4})
+	a.CopyFrame(5, 1)
+
+	c := snap.Clone()
+	defer c.Release()
+	for _, q := range []*Phys{b, c} {
+		for pa := uint64(0); pa < q.Bytes(); pa += 131 {
+			if got := q.Read8(pa); got != want(pa) {
+				t.Fatalf("sibling[%#x] = %d, want %d (write bled through CoW)", pa, got, want(pa))
+			}
+		}
+	}
+	// And a's own writes are visible to a.
+	if a.Read8(100) != 0xAA || a.Read64(4*PageSize) != 0xDEADBEEF {
+		t.Fatalf("clone lost its own writes")
+	}
+}
+
+func TestSnapshotCloneGranulePrivatizedOnce(t *testing.T) {
+	snap, _ := freezeFilled(t, 64)
+	c := snap.Clone()
+	defer c.Release()
+	// Two writes into the same granule must privatize it once and keep
+	// both; a write into a different granule privatizes independently.
+	c.Write8(10, 1)
+	c.Write8(11, 2)
+	c.Write8(granSize+10, 3)
+	if c.Read8(10) != 1 || c.Read8(11) != 2 || c.Read8(granSize+10) != 3 {
+		t.Fatalf("writes lost across privatization")
+	}
+}
+
+func TestSnapshotCloneEqualsCloneDeterministic(t *testing.T) {
+	snap, _ := freezeFilled(t, 64)
+	a := snap.Clone()
+	b := snap.Clone()
+	defer a.Release()
+	defer b.Release()
+	// Apply the identical write sequence to both; every byte must match.
+	for i := uint64(0); i < 64; i++ {
+		pa := i * 4099 % a.Bytes()
+		a.Write8(pa, byte(i))
+		b.Write8(pa, byte(i))
+	}
+	for pa := uint64(0); pa < a.Bytes(); pa++ {
+		if a.Read8(pa) != b.Read8(pa) {
+			t.Fatalf("clones diverged at %#x: %d vs %d", pa, a.Read8(pa), b.Read8(pa))
+		}
+	}
+}
+
+func TestSnapshotCloneReleaseRoundTrip(t *testing.T) {
+	snap, want := freezeFilled(t, 64)
+	// Churn clones to push granules through the pool; later clones must
+	// never observe a released clone's private bytes.
+	for i := 0; i < 8; i++ {
+		c := snap.Clone()
+		for pa := uint64(0); pa < c.Bytes(); pa += granSize {
+			c.Write8(pa+uint64(i), 0xFF)
+		}
+		c.Release()
+	}
+	c := snap.Clone()
+	defer c.Release()
+	for pa := uint64(0); pa < c.Bytes(); pa += 131 {
+		if got := c.Read8(pa); got != want(pa) {
+			t.Fatalf("post-churn clone[%#x] = %d, want %d", pa, got, want(pa))
+		}
+	}
+}
+
+func TestFreezePoisonsSource(t *testing.T) {
+	p := NewPhys(4)
+	p.Write8(0, 1)
+	_ = p.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("use of frozen Phys did not panic")
+		}
+	}()
+	p.Read8(0)
+}
+
+func TestSnapshotCloneConcurrentIsolated(t *testing.T) {
+	snap, _ := freezeFilled(t, 64)
+	done := make(chan [2]uint64, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			c := snap.Clone()
+			defer c.Release()
+			var sum [2]uint64
+			for i := uint64(0); i < 256; i++ {
+				pa := (i*uint64(g+1)*4099 + uint64(g)) % c.Bytes()
+				c.Write8(pa, byte(g))
+				sum[0] += uint64(c.Read8(pa))
+				sum[1]++
+			}
+			done <- sum
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		s := <-done
+		if s[1] != 256 {
+			t.Fatalf("goroutine finished %d writes, want 256", s[1])
+		}
+	}
+}

@@ -71,9 +71,10 @@ type BTBEntry struct {
 // attacker-chosen PCs can alias victim branch PCs — the injection vector of
 // Spectre v2 and BHI (Table 4.1, rows 5–9).
 type BTB struct {
-	entries []BTBEntry
-	mask    uint64
-	tagBits uint
+	entries  []BTBEntry
+	mask     uint64
+	tagBits  uint
+	idxShift uint // log2(len(entries)), precomputed off the hot path
 }
 
 // NewBTB creates a BTB with the given number of entries (power of two).
@@ -82,16 +83,17 @@ func NewBTB(entries int) *BTB {
 		panic("predict: BTB entries must be a positive power of two")
 	}
 	return &BTB{
-		entries: make([]BTBEntry, entries),
-		mask:    uint64(entries - 1),
-		tagBits: 8,
+		entries:  make([]BTBEntry, entries),
+		mask:     uint64(entries - 1),
+		tagBits:  8,
+		idxShift: log2len(entries),
 	}
 }
 
 func (b *BTB) index(pc uint64) (idx, tag uint64) {
 	line := pc >> 2
 	idx = line & b.mask
-	tag = (line >> log2len(len(b.entries))) & ((1 << b.tagBits) - 1)
+	tag = (line >> b.idxShift) & ((1 << b.tagBits) - 1)
 	return
 }
 
@@ -155,7 +157,9 @@ func NewRAS(n int) *RAS {
 // Push records a call's return address.
 func (r *RAS) Push(addr uint64) {
 	r.stack[r.top] = addr
-	r.top = (r.top + 1) % len(r.stack)
+	if r.top++; r.top == len(r.stack) {
+		r.top = 0
+	}
 	if r.depth < len(r.stack) {
 		r.depth++
 	}
@@ -168,7 +172,9 @@ func (r *RAS) Push(addr uint64) {
 // is exactly the Spectre RSB / Retbleed injection vector. ok is false only
 // when the slot has never held an address.
 func (r *RAS) Pop() (addr uint64, ok bool) {
-	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	if r.top--; r.top < 0 {
+		r.top = len(r.stack) - 1
+	}
 	fresh := r.depth > 0
 	if fresh {
 		r.depth--
@@ -179,7 +185,10 @@ func (r *RAS) Pop() (addr uint64, ok bool) {
 // Peek returns what the next Pop would predict without changing state;
 // wrong-path returns use it so a squash leaves the RAS intact.
 func (r *RAS) Peek() (addr uint64, ok bool) {
-	i := (r.top - 1 + len(r.stack)) % len(r.stack)
+	i := r.top - 1
+	if i < 0 {
+		i = len(r.stack) - 1
+	}
 	return r.stack[i], r.depth > 0 || r.stack[i] != 0
 }
 

@@ -105,6 +105,52 @@ func New(b *buddy.Allocator, secure bool) *Allocator {
 	}
 }
 
+// Clone deep-copies the allocator's state over a new buddy allocator (the
+// clone of the one this allocator draws from). The observation hooks are NOT
+// copied — the owner re-wires them to its own DSV machinery. The receiver is
+// not mutated, so concurrent clones of an immutable template are safe.
+func (a *Allocator) Clone(b *buddy.Allocator) *Allocator {
+	c := New(b, a.secure)
+	c.stats = a.stats
+	// Pages are shared objects (partial lists, byPFN and objects all point
+	// at them), so copy each once and translate every reference.
+	newPage := make(map[*page]*page, len(a.byPFN))
+	clonePage := func(pg *page) *page {
+		if pg == nil {
+			return nil
+		}
+		cp := newPage[pg]
+		if cp == nil {
+			cp = &page{
+				pfn:   pg.pfn,
+				class: pg.class,
+				ctx:   pg.ctx,
+				free:  append([]int(nil), pg.free...),
+				used:  pg.used,
+			}
+			newPage[pg] = cp
+		}
+		return cp
+	}
+	for k, lst := range a.partial {
+		nl := make([]*page, len(lst))
+		for i, pg := range lst {
+			nl[i] = clonePage(pg)
+		}
+		c.partial[k] = nl
+	}
+	for k, pg := range a.emptyCache {
+		c.emptyCache[k] = clonePage(pg)
+	}
+	for pfn, pg := range a.byPFN {
+		c.byPFN[pfn] = clonePage(pg)
+	}
+	for pa, rec := range a.objects {
+		c.objects[pa] = objRec{pg: clonePage(rec.pg), ctx: rec.ctx}
+	}
+	return c
+}
+
 // Secure reports whether this is the secure (per-context) variant.
 func (a *Allocator) Secure() bool { return a.secure }
 

@@ -47,6 +47,26 @@ func NewKmaps(physBytes uint64) *Kmaps {
 	}
 }
 
+// Clone deep-copies the kernel mappings. The host-side translation cache
+// starts cold — it is pure memoization with no simulated effect, so a cold
+// cache only costs a few map probes before refilling. The receiver is not
+// mutated, so concurrent clones of an immutable template are safe.
+func (k *Kmaps) Clone() *Kmaps {
+	c := &Kmaps{
+		PhysBytes: k.PhysBytes,
+		vmalloc:   make(map[uint64]uint64, len(k.vmalloc)),
+		perCPU:    make(map[uint64]uint64, len(k.perCPU)),
+		vmCursor:  k.vmCursor,
+	}
+	for va, pfn := range k.vmalloc {
+		c.vmalloc[va] = pfn
+	}
+	for va, pfn := range k.perCPU {
+		c.perCPU[va] = pfn
+	}
+	return c
+}
+
 // Vmalloc maps n fresh pages (allocated by the caller) into the vmalloc
 // area, returning the base VA. Guard gaps of one page separate allocations,
 // as in Linux.
