@@ -5,7 +5,7 @@ GO ?= go
 # drops combined coverage below this.
 COVER_MIN ?= 70
 
-.PHONY: build test vet race fuzzseed cover check bench benchsmoke benchdiff benchdiffsmoke clean
+.PHONY: build test vet race fuzzseed lint cover check bench benchsmoke benchdiff benchdiffsmoke clean
 
 # Packages carrying the host-perf microbenchmarks (cache access, vmm
 # translate, cpu issue loop, kernel syscall round-trip).
@@ -28,6 +28,12 @@ race:
 fuzzseed:
 	$(GO) test -run=Fuzz ./internal/kernel/
 
+# lint runs the project's own go/analysis suite (determinism, errwrap,
+# specgate — see DESIGN.md §8). Exit 1 means an unannotated finding;
+# suppress intentional ones with `//lint:allow <analyzer> -- <reason>`.
+lint:
+	$(GO) run ./cmd/perspective-lint ./...
+
 # cover enforces COVER_MIN over the harness + lebench packages.
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out ./internal/harness/ ./internal/lebench/
@@ -35,11 +41,12 @@ cover:
 		'/^total:/ { sub(/%/, "", $$3); printf "coverage: %s%% (floor %s%%)\n", $$3, min; \
 		if ($$3+0 < min+0) { print "FAIL: coverage below floor"; exit 1 } }'
 
-# check is the CI gate: vet + race-enabled tests + fuzz seed corpus +
-# a one-iteration benchmark smoke run (guards the bench layer against
-# bit-rot without paying for real measurement) + a deterministic
-# benchmark-coverage diff against the committed perf trajectory.
-check: vet race fuzzseed benchsmoke benchdiffsmoke
+# check is the CI gate: vet + the project lint suite + race-enabled tests
+# + fuzz seed corpus + a one-iteration benchmark smoke run (guards the
+# bench layer against bit-rot without paying for real measurement) + a
+# deterministic benchmark-coverage diff against the committed perf
+# trajectory.
+check: vet lint race fuzzseed benchsmoke benchdiffsmoke
 
 # bench produces BENCH_hostperf.json: micro ns/op per hot function plus an
 # end-to-end `-exp all` cells/sec and simulated-MIPS measurement.

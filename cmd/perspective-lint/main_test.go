@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// builtBin is the driver binary, compiled once in TestMain.
+var builtBin string
+
+func TestMain(m *testing.M) {
+	tmp, err := os.MkdirTemp("", "perspective-lint-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(tmp)
+	builtBin = filepath.Join(tmp, "perspective-lint")
+	if out, err := exec.Command("go", "build", "-o", builtBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building driver: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(tmp)
+	os.Exit(code)
+}
+
+func lintBin(t *testing.T) string { return builtBin }
+
+// runLint executes the driver and returns stdout and the exit code.
+func runLint(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(lintBin(t), args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running driver: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	t.Logf("stderr: %s", stderr.String())
+	return stdout.String(), code
+}
+
+// jsonReport mirrors the pinned vet-style JSON contract:
+// package path -> analyzer -> diagnostics.
+type jsonReport map[string]map[string][]struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+func TestDirtyModuleJSON(t *testing.T) {
+	out, code := runLint(t, "-C", "testdata/dirty", "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings)\noutput: %s", code, out)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("output is not the pinned JSON shape: %v\noutput: %s", err, out)
+	}
+	byAnalyzer := rep["dirty/internal/sim"]
+	if byAnalyzer == nil {
+		t.Fatalf("no findings recorded for dirty/internal/sim: %s", out)
+	}
+	det := byAnalyzer["determinism"]
+	if len(det) != 1 || !strings.Contains(det[0].Message, "time.Now") {
+		t.Errorf("determinism diagnostics = %+v, want one time.Now finding", det)
+	}
+	if len(det) == 1 && !strings.Contains(det[0].Posn, "sim.go:") {
+		t.Errorf("posn %q does not name sim.go with a line", det[0].Posn)
+	}
+	ew := byAnalyzer["errwrap"]
+	if len(ew) != 1 || !strings.Contains(ew[0].Message, "%w") {
+		t.Errorf("errwrap diagnostics = %+v, want one missing-%%w finding", ew)
+	}
+}
+
+func TestDirtyModuleText(t *testing.T) {
+	out, code := runLint(t, "-C", "testdata/dirty", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\noutput: %s", code, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(lines), out)
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "sim.go:") {
+			t.Errorf("finding %q does not carry a file:line position", line)
+		}
+	}
+	if !strings.Contains(out, ": determinism: ") || !strings.Contains(out, ": errwrap: ") {
+		t.Errorf("text output missing analyzer names:\n%s", out)
+	}
+}
+
+func TestCleanModule(t *testing.T) {
+	out, code := runLint(t, "-C", "testdata/clean", "-json", "./...")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (clean)\noutput: %s", code, out)
+	}
+	if strings.TrimSpace(out) != "{}" {
+		t.Errorf("clean module output = %q, want empty JSON object", out)
+	}
+}
+
+func TestLoadFailure(t *testing.T) {
+	out, code := runLint(t, "-C", "testdata/clean", "./no/such/pkg")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (load error)\noutput: %s", code, out)
+	}
+}

@@ -1,0 +1,9 @@
+// Package sim is the integration-test clean module: nothing to report.
+package sim
+
+import "fmt"
+
+// Wrap propagates with %w as the errwrap analyzer demands.
+func Wrap(err error) error {
+	return fmt.Errorf("sim: %w", err)
+}

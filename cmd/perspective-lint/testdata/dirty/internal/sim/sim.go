@@ -1,0 +1,18 @@
+// Package sim is the integration-test victim: one determinism violation and
+// one errwrap violation, to pin the driver's exit status and JSON contract.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stamp reads the wall clock inside simulator code.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Wrap flattens an error with %v.
+func Wrap(err error) error {
+	return fmt.Errorf("sim: %v", err)
+}

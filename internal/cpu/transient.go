@@ -119,39 +119,17 @@ func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
 				break
 			}
 			va := rd(inst.Rs1) + uint64(inst.Imm)
-			c.acc = Access{
-				PC: pc, VA: va, IsLoad: true, Ctx: c.ctx, Kernel: c.kernelMode,
-				Transient:   true,
-				AddrTainted: tnt(inst.Rs1),
-			}
-			pa, okA := c.Mem.Resolve(va, inst.Size)
-			if okA {
-				c.acc.L1Hit = c.H.L1D.Lookup(pa)
-			}
-			if c.Policy.OnTransmit(&c.acc) != Allow {
-				c.Stats.TransientFences++
+			v, st := c.specLoad(pc, va, inst.Size, tnt(inst.Rs1))
+			switch st {
+			case specLoadBlocked:
 				wr(inst.Rd, 0, true, true)
-				break
-			}
-			if !okA {
+			case specLoadFault:
 				// Transient fault: the access is squashed before
 				// architectural effect; stop the wrong path here.
 				return
+			default:
+				wr(inst.Rd, v, false, true)
 			}
-			// THE LEAK: a wrong-path load fills a real cache line. LRU
-			// updates are deferred (never applied, since this path
-			// squashes).
-			c.H.AccessData(pa, false)
-			if c.SecCheck != nil {
-				c.SecCheck.TransientFill(c.ctx, pc, va, c.kernelMode)
-			}
-			var v uint64
-			if s, okS := storeBuf[va]; okS && s.size == inst.Size {
-				v = s.val
-			} else {
-				v = c.Mem.LoadPA(pa, inst.Size)
-			}
-			wr(inst.Rd, v, false, true)
 
 		case isa.OpStore:
 			if bad(inst.Rs1) || bad(inst.Rs2) {
@@ -218,6 +196,54 @@ func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
 type transientStore struct {
 	val  uint64
 	size uint8
+}
+
+// specLoadStatus is specLoad's outcome: the value is usable, the policy
+// blocked the transmitter (destination must be poisoned), or the access
+// faulted (the wrong path ends).
+type specLoadStatus int
+
+const (
+	specLoadOK specLoadStatus = iota
+	specLoadBlocked
+	specLoadFault
+)
+
+// specLoad is the single blessed transient-path data accessor: every
+// wrong-path load flows through it, in the architecturally mandated order —
+// the active Policy (the DSV/ISV check API) rules on the transmitter first,
+// then the cache line fills (the covert channel), the security checker
+// observes the fill, and only then is the value read, store-buffer forwards
+// included. perspective-lint's specgate analyzer enforces that no other
+// transient-execution code reads simulated memory directly, so a new
+// speculation feature cannot bypass the defenses this path consults.
+func (c *Core) specLoad(pc, va uint64, size uint8, addrTainted bool) (uint64, specLoadStatus) {
+	c.acc = Access{
+		PC: pc, VA: va, IsLoad: true, Ctx: c.ctx, Kernel: c.kernelMode,
+		Transient:   true,
+		AddrTainted: addrTainted,
+	}
+	pa, okA := c.Mem.Resolve(va, size)
+	if okA {
+		c.acc.L1Hit = c.H.L1D.Lookup(pa)
+	}
+	if c.Policy.OnTransmit(&c.acc) != Allow {
+		c.Stats.TransientFences++
+		return 0, specLoadBlocked
+	}
+	if !okA {
+		return 0, specLoadFault
+	}
+	// THE LEAK: a wrong-path load fills a real cache line. LRU updates are
+	// deferred (never applied, since this path squashes).
+	c.H.AccessData(pa, false)
+	if c.SecCheck != nil {
+		c.SecCheck.TransientFill(c.ctx, pc, va, c.kernelMode)
+	}
+	if s, okS := c.tbuf[va]; okS && s.size == size {
+		return s.val, specLoadOK
+	}
+	return c.Mem.LoadPA(pa, size), specLoadOK
 }
 
 // peekRAS reads the RAS top without consuming it (wrong-path returns must

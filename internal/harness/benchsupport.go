@@ -85,7 +85,7 @@ func (h *Harness) LEBenchPerspective(blockUnknown bool) (float64, error) {
 	start := k.Core.Now()
 	for _, tst := range lebench.Tests() {
 		if _, err := lebench.RunTest(k, tst, h.Opt.LEBenchIters); err != nil {
-			return 0, err
+			return 0, fmt.Errorf("lebench test %s: %w", tst.Name, err)
 		}
 	}
 	return k.Core.Now() - start, nil
@@ -128,7 +128,7 @@ func (h *Harness) ReadWorkloadPerspective(replicate bool) (float64, error) {
 	for i := 0; i < 30; i++ {
 		k.Rewind(t, int(fd))
 		if _, err := k.Syscall(t, kimage.NRRead, fd, buf, 2048); err != nil {
-			return 0, err
+			return 0, fmt.Errorf("read workload syscall: %w", err)
 		}
 	}
 	return k.Core.Now() - start, nil

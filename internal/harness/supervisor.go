@@ -254,6 +254,7 @@ func SuperviseExperiments(opt Options, sup SupervisorOptions, exps []Experiment,
 			continue
 		}
 		res := ExpResult{Name: e.Name}
+		//lint:allow determinism -- wall-clock attempt duration is supervisor diagnostics only, never experiment output
 		start := time.Now()
 		for attempt := 0; attempt < sup.Retries; attempt++ {
 			res.Attempts = attempt + 1
@@ -272,6 +273,7 @@ func SuperviseExperiments(opt Options, sup SupervisorOptions, exps []Experiment,
 			// abandoned goroutine may still be mutating it) — rebuild.
 			h = New(opt)
 		}
+		//lint:allow determinism -- DurationMS is a host-side progress metric excluded from golden comparisons
 		res.DurationMS = time.Since(start).Milliseconds()
 		results = append(results, res)
 		fmt.Fprint(w, res.Output)

@@ -17,6 +17,7 @@ package isv
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/isa"
 	"repro/internal/sec"
@@ -125,12 +126,13 @@ func (v *View) NumInsts() uint64 { return v.count }
 // NumFuncs reports how many functions the view trusts.
 func (v *View) NumFuncs() int { return len(v.funcs) }
 
-// Funcs returns the entry VAs of all trusted functions.
+// Funcs returns the entry VAs of all trusted functions, in ascending order.
 func (v *View) Funcs() []uint64 {
 	out := make([]uint64, 0, len(v.funcs))
 	for e := range v.funcs {
 		out = append(out, e)
 	}
+	slices.Sort(out)
 	return out
 }
 

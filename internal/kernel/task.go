@@ -100,7 +100,7 @@ func (k *Kernel) CreateProcess(container string) (*Task, error) {
 		var err error
 		grp, err = k.Cg.Create(container, nil)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("creating cgroup %q: %w", container, err)
 		}
 	}
 	ctx := grp.ID

@@ -1,0 +1,74 @@
+// Package analysis is a self-contained reimplementation of the
+// golang.org/x/tools/go/analysis core: an Analyzer is a named check, a Pass
+// hands it one type-checked package, and Report collects diagnostics. The
+// container this reproduction builds in has no module proxy access, so the
+// x/tools dependency the design calls for is replaced by this stdlib-only
+// equivalent with the same API shape — analyzers written against it port to
+// the real framework by changing one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph rule description shown by -help.
+	Doc string
+	// Run applies the check to one package, reporting findings via
+	// pass.Report / pass.Reportf. A non-nil error aborts the whole lint
+	// run (it means the analyzer itself failed, not that code is bad).
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is the interface between one analyzer and one package: the syntax
+// trees, the type information, and the Report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The runner installs it (it applies
+	// //lint:allow filtering before anything reaches the caller).
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // optional sub-rule tag
+	Message  string
+}
+
+// Validate rejects analyzer sets the runner cannot host (duplicate or empty
+// names, missing Run), mirroring x/tools' analysis.Validate.
+func Validate(analyzers []*Analyzer) error {
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		if a == nil || a.Name == "" {
+			return fmt.Errorf("analysis: analyzer with empty name")
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %s has no Run", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}

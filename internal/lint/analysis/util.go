@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee returns the function or method a call statically resolves to, or
+// nil for builtins, type conversions, and calls through function values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Receiver returns the named type a method is declared on (through one
+// pointer), or nil for plain functions.
+func Receiver(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// errorInterface is the universe error type.
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// IsErrorType reports whether t implements error.
+func IsErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorInterface)
+}

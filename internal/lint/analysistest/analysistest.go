@@ -1,0 +1,124 @@
+// Package analysistest runs one analyzer over a fixture module and checks
+// its diagnostics against // want expectations, mirroring the x/tools
+// package of the same name. An expectation is a comment containing
+//
+//	// want "regexp" "regexp2" ...
+//
+// on the flagged line: each regexp must match exactly one diagnostic
+// reported on that line, and every diagnostic must be matched by some
+// expectation. Fixtures are real modules (testdata/fixture/go.mod), loaded
+// with the same loader the production driver uses, so the tests exercise
+// the full go list / export-data / type-check pipeline.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// expectation is one want-regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// Run loads the fixture module at dir, applies the analyzer (with the
+// production //lint:allow filtering), and diffs diagnostics against the
+// fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", dir)
+	}
+	findings, err := lint.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					posn := pkg.Fset.Position(c.Slash)
+					es, err := parseWant(c.Text)
+					if err != nil {
+						t.Fatalf("%s: %v", posn, err)
+					}
+					for _, re := range es {
+						wants = append(wants, expectation{posn.Filename, posn.Line, re})
+					}
+				}
+			}
+		}
+	}
+
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		ok := false
+		for i, f := range findings {
+			if !matched[i] && f.Posn.Filename == w.file && f.Posn.Line == w.line && w.re.MatchString(f.Message) {
+				matched[i], ok = true, true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: no %s diagnostic matching %q", w.file, w.line, a.Name, w.re)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", f.Posn, f.Analyzer, f.Message)
+		}
+	}
+}
+
+// parseWant extracts the want-regexps from one comment, or nil if the
+// comment holds no expectation. The marker may open the comment ("// want
+// ...") or trail another one ("//lint:allow x // want ...").
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	idx := strings.Index(text, "want ")
+	if idx < 0 {
+		return nil, nil
+	}
+	switch prefix := text[:idx]; {
+	case strings.TrimLeft(prefix, "/ \t") == "":
+	case strings.HasSuffix(prefix, "// "):
+	default:
+		return nil, nil // the word "want" in ordinary prose
+	}
+	rest := strings.TrimSpace(text[idx+len("want"):])
+	var out []*regexp.Regexp
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want expectation %q: %w", rest, err)
+		}
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %w", q, err)
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			return nil, fmt.Errorf("compiling want pattern %q: %w", s, err)
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no quoted patterns: %q", text)
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+// Package sim exercises every determinism rule: wall-clock reads, global
+// and call-seeded randomness, and map-iteration order escaping into ordered
+// output, plus the clean idioms that must stay unflagged.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()   // want `call to time\.Now`
+	_ = time.Since(t) // want `call to time\.Since`
+	return t.UnixNano()
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `package-global random source`
+}
+
+func callSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `call to time\.Now` `seeded from a function call`
+}
+
+func seededOK(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(5)
+}
+
+func escape(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `map iteration order escapes`
+	}
+	return keys
+}
+
+func sortedIdiom(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSliceIdiom(m map[string]*int) []*int {
+	var out []*int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return *out[i] < *out[j] })
+	return out
+}
+
+func printEscape(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `map iteration order escapes`
+	}
+}
+
+func orderInsensitive(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func derivedEscape(m map[string]int, out *strings.Builder) {
+	for k := range m {
+		s := k + "!"
+		out.WriteString(s) // want `map iteration order escapes`
+	}
+}
+
+func concatEscape(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `map iteration order escapes`
+	}
+	return s
+}
+
+func mapToMap(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+func annotated() int64 {
+	//lint:allow determinism -- fixture: host timing for diagnostics only
+	t := time.Now()
+	return t.UnixNano()
+}
+
+func badAnnotation() int64 {
+	//lint:allow determinism // want `malformed //lint:allow`
+	t := time.Now() // want `call to time\.Now`
+	return t.UnixNano()
+}
+
+func unknownAnnotation(seed int64) int {
+	//lint:allow nosuchcheck -- misdirected reason // want `unknown analyzer`
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(3)
+}

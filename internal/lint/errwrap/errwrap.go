@@ -1,0 +1,182 @@
+// Package errwrap implements the perspective-lint analyzer for the error
+// discipline established in PR 1 ("context-wrapped errors everywhere"). Two
+// rules:
+//
+//  1. Everywhere: a fmt.Errorf call that formats an error-typed argument
+//     must use %w — %v/%s flattens the chain, breaking errors.Is/As and the
+//     supervisor's error aggregation.
+//
+//  2. In the harness and kernel packages (the exported entry points the CLI
+//     and experiments drive): an exported function or method must not return
+//     an error obtained from another package bare — propagating it without
+//     fmt.Errorf("context: %w", err) loses the call-site context the
+//     supervisor report and CellErrors aggregation rely on.
+package errwrap
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the error-wrapping check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "flag fmt.Errorf formatting errors without %w, and bare cross-package " +
+		"error returns from exported harness/kernel entry points",
+	Run: run,
+}
+
+// entryPointPkgs are the package basenames whose exported functions are
+// treated as harness entry points for rule 2.
+var entryPointPkgs = map[string]bool{"harness": true, "kernel": true}
+
+// errConstructors build (or wrap) errors; assignment from them is not bare
+// propagation.
+var errConstructors = map[string]bool{
+	"fmt.Errorf": true, "errors.New": true, "errors.Join": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		checkErrorf(pass, file)
+	}
+	parts := strings.Split(pass.Pkg.Path(), "/")
+	if entryPointPkgs[parts[len(parts)-1]] {
+		for _, file := range pass.Files {
+			checkBareReturns(pass, file)
+		}
+	}
+	return nil
+}
+
+// checkErrorf enforces rule 1.
+func checkErrorf(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+			return true
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok {
+			return true // dynamic format string: cannot judge
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil || strings.Contains(format, "%w") {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			if analysis.IsErrorType(pass.TypesInfo.TypeOf(arg)) {
+				pass.Reportf(call.Pos(),
+					"fmt.Errorf formats an error without %%w: the wrapped chain is lost to errors.Is/As; use %%w")
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// checkBareReturns enforces rule 2 on every exported function and method.
+func checkBareReturns(pass *analysis.Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !fd.Name.IsExported() {
+			continue
+		}
+		crossCalls := crossPackageErrSources(pass, fd)
+		if len(crossCalls) == 0 {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // closures are not the exported return path
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				id, ok := ast.Unparen(res).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil || !analysis.IsErrorType(obj.Type()) {
+					continue
+				}
+				if src, ok := crossCalls[obj]; ok {
+					pass.Reportf(res.Pos(),
+						"exported %s returns the error from %s bare across the package boundary; add context with fmt.Errorf(\"...: %%w\", %s)",
+						fd.Name.Name, src, id.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// crossPackageErrSources maps local error variables to the qualified name of
+// the foreign callee that last could have produced them. Variables also
+// reassigned from same-package calls or wrapping constructors are dropped:
+// the analyzer only flags identifiers it can attribute unambiguously.
+func crossPackageErrSources(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]string {
+	sources := map[types.Object]string{}
+	disqualified := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		record := func(lhs ast.Expr, rhs ast.Expr) {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil || !analysis.IsErrorType(obj.Type()) ||
+				obj.Pos() < fd.Pos() || obj.Pos() > fd.End() {
+				return
+			}
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				disqualified[obj] = true
+				return
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg ||
+				errConstructors[fn.FullName()] {
+				disqualified[obj] = true
+				return
+			}
+			name := fn.Name()
+			if recv := analysis.Receiver(fn); recv != nil {
+				name = recv.Obj().Name() + "." + name
+			}
+			sources[obj] = fn.Pkg().Name() + "." + name
+		}
+		if len(as.Rhs) == 1 {
+			for _, lhs := range as.Lhs {
+				record(lhs, as.Rhs[0])
+			}
+		} else {
+			for i, lhs := range as.Lhs {
+				record(lhs, as.Rhs[i])
+			}
+		}
+		return true
+	})
+	for obj := range disqualified {
+		delete(sources, obj)
+	}
+	return sources
+}

@@ -1,0 +1,98 @@
+// Package kernel exercises both errwrap rules in an entry-point package:
+// unwrapped fmt.Errorf verbs and bare cross-package error returns from
+// exported functions.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// ErrBoot is a sentinel; returning it bare is fine (it is not a propagated
+// foreign error).
+var ErrBoot = errors.New("boot failed")
+
+func Parse(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err // want `returns the error from strconv\.Atoi bare`
+	}
+	return n, nil
+}
+
+func ParseWrapped(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("parse %q: %w", s, err)
+	}
+	return n, nil
+}
+
+// parseQuiet is unexported: not an entry point, bare propagation allowed.
+func parseQuiet(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Validate propagates a same-package error bare; the call site inside the
+// package already attached its context.
+func Validate(s string) error {
+	if err := check(s); err != nil {
+		return err
+	}
+	return nil
+}
+
+func check(s string) error {
+	if s == "" {
+		return ErrBoot
+	}
+	return nil
+}
+
+// Describe flattens an error with %v.
+func Describe(err error) error {
+	return fmt.Errorf("describe: %v", err) // want `without %w`
+}
+
+// DescribeWrapped uses %w and an ordinary %s verb together.
+func DescribeWrapped(name string, err error) error {
+	return fmt.Errorf("describe %s: %w", name, err)
+}
+
+// Sentinel returns a package-level error; nothing to wrap.
+func Sentinel() error {
+	return ErrBoot
+}
+
+type K struct{}
+
+// Boot is an exported method: entry-point rules apply.
+func (K) Boot(s string) error {
+	_, err := strconv.Atoi(s)
+	return err // want `bare across the package boundary`
+}
+
+// Reload reassigns the error from a same-package call before returning; the
+// attribution is ambiguous, so it is not flagged.
+func Reload(s string) error {
+	_, err := strconv.Atoi(s)
+	if err != nil {
+		err = check(s)
+	}
+	return err
+}
+
+// Annotated documents why the raw error is the API contract here.
+func Annotated(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		//lint:allow errwrap -- fixture: strconv.NumError is the documented contract
+		return 0, err
+	}
+	return n, nil
+}

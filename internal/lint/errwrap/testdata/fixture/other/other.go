@@ -1,0 +1,20 @@
+// Package other is not an entry-point package: bare cross-package returns
+// are allowed here, but the fmt.Errorf %w rule still applies everywhere.
+package other
+
+import (
+	"fmt"
+	"strconv"
+)
+
+func Parse(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func Wrap(err error) error {
+	return fmt.Errorf("other: %v", err) // want `without %w`
+}

@@ -1,0 +1,182 @@
+// Package lint runs the perspective-lint analyzer suite over loaded packages
+// and applies the annotation escape hatch. A finding is suppressed by
+//
+//	//lint:allow <analyzer> -- <reason>
+//
+// placed on the flagged line or on the line directly above it. The reason is
+// mandatory: a directive without one (or naming an unknown analyzer) is
+// itself a finding, attributed to the reserved "allow-directive" analyzer,
+// and cannot be suppressed — so every accepted violation carries a written
+// justification in the source.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// DirectiveAnalyzer is the reserved analyzer name for malformed
+// //lint:allow annotations.
+const DirectiveAnalyzer = "allow-directive"
+
+// Finding is one reported diagnostic after directive filtering.
+type Finding struct {
+	Pkg      string
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Posn, f.Analyzer, f.Message)
+}
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	posn     token.Position
+}
+
+// parseDirectives extracts //lint:allow directives from one file.
+func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+			if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+				continue
+			}
+			d := directive{posn: fset.Position(c.Slash)}
+			if name, reason, ok := strings.Cut(text, "--"); ok {
+				d.analyzer = strings.TrimSpace(name)
+				d.reason = strings.TrimSpace(reason)
+			} else {
+				d.analyzer = strings.TrimSpace(text)
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. The returned error reports analyzer failures
+// (a broken checker), never bad target code.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		// allowed maps "file:line" to the analyzers permitted there.
+		allowed := map[string]map[string]bool{}
+		for _, f := range pkg.Syntax {
+			for _, d := range parseDirectives(pkg.Fset, f) {
+				switch {
+				case d.analyzer == "" || d.reason == "":
+					findings = append(findings, Finding{
+						Pkg: pkg.PkgPath, Analyzer: DirectiveAnalyzer, Posn: d.posn,
+						Message: `malformed //lint:allow: want "//lint:allow <analyzer> -- <reason>" with a non-empty reason`,
+					})
+				case !known[d.analyzer] && d.analyzer != DirectiveAnalyzer:
+					findings = append(findings, Finding{
+						Pkg: pkg.PkgPath, Analyzer: DirectiveAnalyzer, Posn: d.posn,
+						Message: fmt.Sprintf("//lint:allow names unknown analyzer %q", d.analyzer),
+					})
+				default:
+					key := fmt.Sprintf("%s:%d", d.posn.Filename, d.posn.Line)
+					if allowed[key] == nil {
+						allowed[key] = map[string]bool{}
+					}
+					allowed[key][d.analyzer] = true
+				}
+			}
+		}
+
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				posn := pkg.Fset.Position(d.Pos)
+				// A directive suppresses on its own line (end-of-line
+				// comment) or on the line below it (standalone comment).
+				for _, line := range []int{posn.Line, posn.Line - 1} {
+					if allowed[fmt.Sprintf("%s:%d", posn.Filename, line)][a.Name] {
+						return
+					}
+				}
+				findings = append(findings, Finding{
+					Pkg: pkg.PkgPath, Analyzer: a.Name, Posn: posn, Message: d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// WriteText renders findings one per line, file:line:col: analyzer: message.
+func WriteText(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s\n", f)
+	}
+}
+
+// jsonDiagnostic is the vet -json diagnostic shape.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// WriteJSON renders findings in `go vet -json` style: an object keyed by
+// package path, each value an object keyed by analyzer name holding the
+// diagnostic list. This shape is the output contract pinned by the
+// cmd/perspective-lint integration test.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	tree := map[string]map[string][]jsonDiagnostic{}
+	for _, f := range findings {
+		if tree[f.Pkg] == nil {
+			tree[f.Pkg] = map[string][]jsonDiagnostic{}
+		}
+		tree[f.Pkg][f.Analyzer] = append(tree[f.Pkg][f.Analyzer],
+			jsonDiagnostic{Posn: f.Posn.String(), Message: f.Message})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(tree)
+}

@@ -1,0 +1,12 @@
+package specgate_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/specgate"
+)
+
+func TestSpecgate(t *testing.T) {
+	analysistest.Run(t, "testdata/fixture", specgate.Analyzer, "./...")
+}

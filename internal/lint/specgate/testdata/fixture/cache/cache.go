@@ -1,0 +1,14 @@
+// Package cache is in the gate's scope but models the real cache package:
+// pure tag/LRU state with no memsim dependency. Nothing here is flagged.
+package cache
+
+type Cache struct{ tags []uint64 }
+
+func (c *Cache) Lookup(tag uint64) bool {
+	for _, t := range c.tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}

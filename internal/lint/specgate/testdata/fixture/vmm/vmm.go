@@ -1,0 +1,9 @@
+// Package vmm is outside the speculation hot path: architectural page-table
+// walks read physical memory directly by design, so the gate ignores it.
+package vmm
+
+import "fixture/memsim"
+
+func Walk(p *memsim.Phys, root uint64) uint64 {
+	return p.Read64(root)
+}

@@ -195,9 +195,20 @@ func (r Report) Census() (mds, port, cache int) {
 // explores coverage in a randomized order; seed fixes it). Bounding the
 // scope to an ISV is the Perspective improvement: functions outside the
 // view cannot speculatively execute, so they need no scanning (§5.4).
+//
+// Scan is the fixed-seed entry point; the campaign's only randomness is the
+// coverage order drawn from the *rand.Rand it constructs, so two scans of
+// the same image with the same seed report identical findings.
 func Scan(img *kimage.Image, scope []int, seed int64) Report {
+	return ScanWithRand(img, scope, rand.New(rand.NewSource(seed)))
+}
+
+// ScanWithRand is Scan with the campaign's random source threaded
+// explicitly, for callers that interleave the scan with other draws from a
+// shared experiment-level generator. The scanner holds no package-global
+// randomness: every nondeterministic choice comes from rng.
+func ScanWithRand(img *kimage.Image, scope []int, rng *rand.Rand) Report {
 	order := append([]int(nil), scope...)
-	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 
 	var rep Report
