@@ -5,7 +5,7 @@ GO ?= go
 # drops combined coverage below this.
 COVER_MIN ?= 70
 
-.PHONY: build test vet race fuzzseed lint cover check bench benchsmoke benchdiff benchdiffsmoke clean
+.PHONY: build test vet race fuzzseed lint cover check bench benchsmoke benchdiff benchdiffsmoke relsecsmoke clean
 
 # Packages carrying the host-perf microbenchmarks (cache access, vmm
 # translate, cpu issue loop, kernel syscall round-trip).
@@ -45,8 +45,19 @@ cover:
 # + fuzz seed corpus + a one-iteration benchmark smoke run (guards the
 # bench layer against bit-rot without paying for real measurement) + a
 # deterministic benchmark-coverage diff against the committed perf
-# trajectory.
-check: vet lint race fuzzseed benchsmoke benchdiffsmoke
+# trajectory + an end-to-end relative-security smoke.
+check: vet lint race fuzzseed benchsmoke benchdiffsmoke relsecsmoke
+
+# relsecsmoke runs the relative-security experiment end-to-end through the
+# CLI and asserts its two load-bearing verdicts: every sound scheme is
+# trace-equivalent over the census, and the repair loop converges.
+relsecsmoke:
+	$(GO) run ./cmd/perspective-sim -exp relsec > /tmp/relsec.out
+	@grep -q 'converged: census clean' /tmp/relsec.out
+	@grep -c 'relatively secure' /tmp/relsec.out | grep -qx 4
+	@grep -q 'leaks' /tmp/relsec.out
+	@rm -f /tmp/relsec.out
+	@echo relsecsmoke: ok
 
 # bench produces BENCH_hostperf.json: micro ns/op per hot function plus an
 # end-to-end `-exp all` cells/sec and simulated-MIPS measurement.

@@ -7,7 +7,11 @@
 // visibility point.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Level identifies where an access was satisfied.
 type Level int
@@ -83,7 +87,21 @@ type Cache struct {
 	mru   []int32
 	clock uint64
 	stats Stats
+
+	// obs, when set, receives one event per fill (and per eviction a fill
+	// forces) — the cache-channel slice of the observation trace
+	// (internal/obs). obsTag names the array in the events' annotation.
+	obs    *obs.Recorder
+	obsTag uint64
 }
+
+// Observation-annotation array tags (the Note payload's top bits name which
+// cache recorded the event).
+const (
+	ObsTagL1I uint64 = 1
+	ObsTagL1D uint64 = 2
+	ObsTagL2  uint64 = 3
+)
 
 // New creates a cache. Sets must be a power of two.
 func New(cfg Config) *Cache {
@@ -203,9 +221,31 @@ func (c *Cache) Access(addr uint64, updateLRU bool) bool {
 	// Miss: fill. Even speculative fills happen on baseline hardware — this
 	// is the transmission step of every PoC in internal/attack.
 	c.stats.Fills++
+	if c.obs != nil {
+		c.noteFill(set, victim, tag1, ws[victim].tag)
+	}
 	ws[victim] = way{tag: tag1, stamp: c.clock}
 	c.mru[set] = int32(victim)
 	return false
+}
+
+// SetObs attaches an observation recorder (nil detaches); tag names this
+// array in recorded events. Off the hot path: Access only pays the nil check.
+func (c *Cache) SetObs(r *obs.Recorder, tag uint64) {
+	c.obs, c.obsTag = r, tag
+}
+
+// noteFill records a fill — and the eviction it forced, if the victim way
+// held a valid line. Addr carries the line address (what a prime+probe or
+// flush+reload observer resolves); the annotation packs array/set/way.
+func (c *Cache) noteFill(set, victim int, newTag1, oldTag1 uint64) {
+	note := c.obsTag<<40 | uint64(set)<<8 | uint64(victim)
+	if oldTag1 != 0 {
+		evicted := (oldTag1-1)<<c.tagShift | uint64(set)<<c.lineShift
+		c.obs.Record(obs.Event{Kind: obs.KindEvict, Addr: evicted, Note: note})
+	}
+	filled := (newTag1-1)<<c.tagShift | uint64(set)<<c.lineShift
+	c.obs.Record(obs.Event{Kind: obs.KindFill, Addr: filled, Note: note})
 }
 
 // Touch updates LRU for a line already present (visibility-point LRU update).
@@ -284,6 +324,15 @@ func NewDefaultHierarchy() *Hierarchy {
 		MemLat:           100,
 		NextLinePrefetch: true,
 	}
+}
+
+// AttachObs wires one observation recorder into all three arrays (nil
+// detaches). Every fill and forced eviction anywhere in the hierarchy then
+// lands in the trace, tagged with the array it happened in.
+func (h *Hierarchy) AttachObs(r *obs.Recorder) {
+	h.L1I.SetObs(r, ObsTagL1I)
+	h.L1D.SetObs(r, ObsTagL1D)
+	h.L2.SetObs(r, ObsTagL2)
 }
 
 // AccessData performs a data access at physical address pa and returns its

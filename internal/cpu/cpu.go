@@ -22,9 +22,12 @@
 package cpu
 
 import (
+	"math"
+
 	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/sec"
 )
@@ -139,6 +142,21 @@ type Policy interface {
 	Reset()
 }
 
+// TransientStoreGate is an optional Policy extension consulted before a
+// wrong-path store enters the transient store buffer. STT implements it: in
+// its taint model a store of speculatively loaded data is a transmitter (the
+// value would sit in a microarchitectural buffer a later wrong-path load can
+// sample — the MDS channel), so such stores never reach the buffer. The gate
+// is deliberately NOT routed through OnTransmit: it guards a buffer write,
+// not a delayed issue, and keeping it separate leaves every policy's
+// Table 10.1 fence accounting untouched. Policies without the extension keep
+// the baseline behaviour (every transient store buffers).
+type TransientStoreGate interface {
+	// BlockTransientStore reports whether a transient store whose data
+	// operand carries the given taint must be kept out of the store buffer.
+	BlockTransientStore(dataTainted bool) bool
+}
+
 // AllowAll is the UNSAFE hardware baseline: no speculation control at all.
 type AllowAll struct{}
 
@@ -216,6 +234,11 @@ type Core struct {
 	// cache fills, squash restoration) for comparison against the
 	// architectural view state (sec.Checker).
 	SecCheck sec.Checker
+	// Obs, when set, records the observation trace (internal/obs): the
+	// core contributes wrong-path loads, transient store-buffer and port
+	// events, and squash timings. Every site is nil-guarded, so a machine
+	// without a recorder pays only the predicate.
+	Obs *obs.Recorder
 
 	// Regs is the architectural register file; callers marshal syscall
 	// arguments here before Run.
@@ -559,8 +582,7 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 				if predicted {
 					wrong = inst.Target
 				}
-				c.runTransientChecked(wrong, c.transientBudget(resolve), resolve, pc)
-				c.now = resolve + float64(c.Cfg.MispredictPenalty)
+				c.squashWindow(pc, wrong, resolve)
 			} else if c.Fault != nil && c.Fault.SpuriousSquash(pc) {
 				// Injected fault: a correctly predicted branch is squashed
 				// anyway. The frontend transiently runs the untaken
@@ -572,8 +594,7 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 				if taken {
 					wrong = next
 				}
-				c.runTransientChecked(wrong, c.transientBudget(resolve), resolve, pc)
-				c.now = resolve + float64(c.Cfg.MispredictPenalty)
+				c.squashWindow(pc, wrong, resolve)
 			}
 			if taken {
 				next = inst.Target
@@ -609,8 +630,7 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 				if okP && predicted != actual {
 					// Speculative control-flow hijack window (Spectre v2).
 					c.Stats.Mispredicts++
-					c.runTransientChecked(predicted, c.transientBudget(resolve), resolve, pc)
-					c.now = resolve + float64(c.Cfg.MispredictPenalty)
+					c.squashWindow(pc, predicted, resolve)
 				} else if !okP {
 					// BTB miss: the frontend stalls until resolution.
 					c.now = resolve
@@ -641,8 +661,7 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 				}
 				if predicted, okP := c.BP.RAS.Pop(); okP && predicted != 0 {
 					c.Stats.Mispredicts++
-					c.runTransientChecked(predicted, c.transientBudget(resolve), resolve, pc)
-					c.now = resolve + float64(c.Cfg.MispredictPenalty)
+					c.squashWindow(pc, predicted, resolve)
 				}
 				c.commit(resolve)
 				res.Ret = c.reg(isa.R1)
@@ -661,8 +680,7 @@ func (c *Core) Run(entry uint64, maxInsts int) RunResult {
 			if okP && predicted != actual {
 				// Return target hijack window (Spectre RSB / Retbleed).
 				c.Stats.Mispredicts++
-				c.runTransientChecked(predicted, c.transientBudget(resolve), resolve, pc)
-				c.now = resolve + float64(c.Cfg.MispredictPenalty)
+				c.squashWindow(pc, predicted, resolve)
 			} else if !okP {
 				c.now = resolve
 			}
@@ -706,6 +724,21 @@ func (c *Core) traceEnter(va uint64) {
 	if c.Tracer != nil && c.kernelMode {
 		c.Tracer.OnFuncEnter(va)
 	}
+}
+
+// squashWindow runs one wrong path and charges the redirect. With a
+// recorder attached it brackets the run with the window's observable
+// endpoints: the predictor reports the mispredict opening it, and the core
+// records the squash with the resolve time's bit pattern — squash *timing*
+// is part of the observation trace, because a resolve delayed by a
+// secret-dependent miss is itself a channel.
+func (c *Core) squashWindow(brPC, wrongPC uint64, resolve float64) {
+	c.BP.NoteMispredict(brPC, wrongPC)
+	c.runTransientChecked(wrongPC, c.transientBudget(resolve), resolve, brPC)
+	if c.Obs != nil {
+		c.Obs.Record(obs.Event{Kind: obs.KindSquash, PC: brPC, Addr: wrongPC, Obs: math.Float64bits(resolve)})
+	}
+	c.now = resolve + float64(c.Cfg.MispredictPenalty)
 }
 
 // transientBudget estimates how many wrong-path instructions the frontend

@@ -3,6 +3,7 @@ package cpu
 import (
 	"repro/internal/isa"
 	"repro/internal/memsim"
+	"repro/internal/obs"
 )
 
 func memsimIsKernel(va uint64) bool { return memsim.IsKernel(va) }
@@ -56,6 +57,9 @@ func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
 		clear(c.tbuf)
 	}
 	storeBuf := c.tbuf
+	// Hoisted optional-interface lookup: one assertion per squash, not one
+	// per wrong-path store.
+	storeGate, _ := c.Policy.(TransientStoreGate)
 	stack := c.tstack[:0]
 	defer func() { c.tstack = stack[:0] }()
 
@@ -102,6 +106,15 @@ func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
 					wr(inst.Rd, 0, true, true)
 					break
 				}
+				if c.Obs != nil {
+					// A transient multiply that issues occupies an execution
+					// port for operand-dependent cycles; fold both operands
+					// into the observable payload.
+					c.Obs.Record(obs.Event{
+						Kind: obs.KindPort, PC: pc,
+						Obs: rd(inst.Rs1) ^ rotl32(rd(inst.Rs2)),
+					})
+				}
 			}
 			if inst.AK != isa.AMovImm && (bad(inst.Rs1) || bad(inst.Rs2)) {
 				wr(inst.Rd, 0, true, true)
@@ -136,6 +149,15 @@ func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
 				break
 			}
 			va := rd(inst.Rs1) + uint64(inst.Imm)
+			if storeGate != nil && storeGate.BlockTransientStore(tnt(inst.Rs2)) {
+				c.Stats.TransientFences++
+				break
+			}
+			if c.Obs != nil {
+				// The buffered (address, value) pair is what an MDS-style
+				// sampler reads back, so both are observable payload.
+				c.Obs.Record(obs.Event{Kind: obs.KindSBuf, PC: pc, Addr: va, Obs: rd(inst.Rs2)})
+			}
 			storeBuf[va] = transientStore{val: rd(inst.Rs2), size: inst.Size}
 
 		case isa.OpBranch:
@@ -234,6 +256,14 @@ func (c *Core) specLoad(pc, va uint64, size uint8, addrTainted bool) (uint64, sp
 	if !okA {
 		return 0, specLoadFault
 	}
+	if c.Obs != nil && !c.acc.L1Hit {
+		// Only a load that misses the L1 changes microarchitectural state
+		// (which is exactly why Delay-on-Miss may allow the hits), so only
+		// misses enter the observation trace. Recorded before the fill so a
+		// distinguishing trace leads with the PC-attributed load, not the
+		// anonymous line fill it causes.
+		c.observeTransientLoad(pc, va, pa, size)
+	}
 	// THE LEAK: a wrong-path load fills a real cache line. LRU updates are
 	// deferred (never applied, since this path squashes).
 	c.H.AccessData(pa, false)
@@ -245,6 +275,19 @@ func (c *Core) specLoad(pc, va uint64, size uint8, addrTainted bool) (uint64, sp
 	}
 	return c.Mem.LoadPA(pa, size), specLoadOK
 }
+
+// observeTransientLoad records one policy-allowed wrong-path load that
+// missed the L1. The digested payload is the address — what the cache
+// channel exposes; the *value* is attached as an undigested annotation so a
+// distinguishing trace can name the byte that leaked. Reading that value
+// takes a direct memory access on the transient path, which is why this
+// helper is specgate-blessed alongside specLoad itself.
+func (c *Core) observeTransientLoad(pc, va, pa uint64, size uint8) {
+	c.Obs.Record(obs.Event{Kind: obs.KindSpecLoad, PC: pc, Addr: va, Note: c.Mem.LoadPA(pa, size)})
+}
+
+// rotl32 rotates by half a word — cheap operand mixing for the port event.
+func rotl32(v uint64) uint64 { return v<<32 | v>>32 }
 
 // peekRAS reads the RAS top without consuming it (wrong-path returns must
 // not corrupt the committed predictor state in this model).

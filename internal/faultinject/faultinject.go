@@ -192,6 +192,14 @@ const (
 	// ISVStale: a cached ISV verdict claimed trusted for an instruction
 	// the installed view says is untrusted.
 	ISVStale
+	// TLBStale: a host-side translation-cache entry diverged from the raw
+	// page-table walk (VerifyAgainstWalk / VerifyAgainstMaps failed) — the
+	// PR-3 fast path served a wrong translation.
+	TLBStale
+	// CloneDiverged: a snapshot clone's boot-state digest differs from a
+	// fresh boot's — the PR-4 copy-on-write plumbing corrupted state the
+	// campaign then ran on.
+	CloneDiverged
 	// NumViolationKinds is the violation-class count.
 	NumViolationKinds
 )
@@ -209,6 +217,10 @@ func (k ViolationKind) String() string {
 		return "dsv-stale"
 	case ISVStale:
 		return "isv-stale"
+	case TLBStale:
+		return "tlb-stale"
+	case CloneDiverged:
+		return "clone-diverged"
 	default:
 		return "?"
 	}
@@ -295,6 +307,29 @@ func (c *Checker) SquashRestore(pc uint64, intact bool) {
 	if !intact {
 		c.add(Violation{Kind: SquashLeak, PC: pc})
 	}
+}
+
+// NoteTLB judges one translation-cache verification result: a non-nil
+// error from VerifyAgainstWalk / VerifyAgainstMaps means the host-side TLB
+// memoization diverged from the architectural page tables. The campaigns
+// call it after their workload and attack phases so the PR-3 fast path is
+// under the same invariant regime as the view caches.
+func (c *Checker) NoteTLB(err error) {
+	if err == nil {
+		return
+	}
+	c.add(Violation{Kind: TLBStale})
+}
+
+// NoteCloneDigest judges a snapshot clone against the fresh-boot digest:
+// the campaigns boot their machines through the PR-4 clone engine, and a
+// clone whose boot-relevant state does not digest identically to a genuine
+// fresh boot would invalidate everything measured on it.
+func (c *Checker) NoteCloneDigest(clone, fresh uint64) {
+	if clone == fresh {
+		return
+	}
+	c.add(Violation{Kind: CloneDiverged, VA: clone ^ fresh})
 }
 
 // ViewMismatch implements sec.Checker: only the dangerous direction — the

@@ -34,6 +34,8 @@ type FaultSweepRow struct {
 	Untrusted     uint64 // wrong-path transmitters outside the installed ISV
 	SquashLeaks   uint64 // squashes that failed to restore register state
 	StaleViews    uint64 // dangerous cached-verdict/table disagreements
+	TLBStale      uint64 // translation-cache entries diverging from the walk
+	CloneDiff     uint64 // snapshot-clone digests diverging from a fresh boot
 	SpuriousBlock uint64 // fail-closed events (extra fences from faults)
 	Leaked        int    // PoC bytes recovered under fault injection
 	HandlerFaults uint64
@@ -43,7 +45,8 @@ type FaultSweepRow struct {
 
 // Violations sums the row's invariant breaches.
 func (r FaultSweepRow) Violations() uint64 {
-	return r.OutOfView + r.Untrusted + r.SquashLeaks + r.StaleViews
+	return r.OutOfView + r.Untrusted + r.SquashLeaks + r.StaleViews +
+		r.TLBStale + r.CloneDiff
 }
 
 // verdict classifies a row for the report.
@@ -121,6 +124,15 @@ func (h *Harness) faultCampaign(kind schemes.Kind, views *Views, rate float64, s
 	chk := faultinject.NewChecker(k.DSV, k.ISV)
 	chk.Attach(k.Core, k.DSV, k.ISV)
 
+	// The campaign machine is (usually) a snapshot clone: judge its boot
+	// state against a genuinely fresh boot before running anything on it,
+	// so a copy-on-write bug cannot silently skew the whole sweep.
+	fresh, err := h.freshBootDigest()
+	if err != nil {
+		return row, fmt.Errorf("fresh-boot digest: %w", err)
+	}
+	chk.NoteCloneDigest(k.StateDigest(), fresh)
+
 	start := k.Core.Now()
 	fencesBefore := k.Core.Stats.TransientFences
 
@@ -140,9 +152,9 @@ func (h *Harness) faultCampaign(kind schemes.Kind, views *Views, rate float64, s
 	// Live attack under fault injection: does the scheme still block the
 	// leak when its metadata is being corrupted?
 	secret := []byte("S3")
+	var attacker *kernel.Task
 	victim, err := k.CreateProcess("victim")
 	if err == nil {
-		var attacker *kernel.Task
 		attacker, err = k.CreateProcess("attacker")
 		if err == nil {
 			var secretVA uint64
@@ -154,6 +166,16 @@ func (h *Harness) faultCampaign(kind schemes.Kind, views *Views, rate float64, s
 					row.Leaked = res.Match(secret)
 				}
 			}
+		}
+	}
+
+	// Judge the PR-3 translation fast path against ground truth: the
+	// kernel-half cache against the kernel maps, and each live task's TLB
+	// against a raw page-table walk.
+	chk.NoteTLB(k.Km.VerifyAgainstMaps())
+	for _, t := range []*kernel.Task{victim, attacker} {
+		if t != nil {
+			chk.NoteTLB(t.AS.VerifyAgainstWalk())
 		}
 	}
 	h.collectFaultStats(&row, inj, chk, k.Stats.HandlerFaults,
@@ -175,6 +197,8 @@ func (h *Harness) collectFaultStats(row *FaultSweepRow, inj *faultinject.Injecto
 	row.Untrusted = chk.Count[faultinject.UntrustedFill]
 	row.SquashLeaks = chk.Count[faultinject.SquashLeak]
 	row.StaleViews = chk.Count[faultinject.DSVStale] + chk.Count[faultinject.ISVStale]
+	row.TLBStale = chk.Count[faultinject.TLBStale]
+	row.CloneDiff = chk.Count[faultinject.CloneDiverged]
 	row.SpuriousBlock = chk.SpuriousStale + fences
 	row.HandlerFaults = handlerFaults
 	row.Cycles = cycles
@@ -183,13 +207,14 @@ func (h *Harness) collectFaultStats(row *FaultSweepRow, inj *faultinject.Injecto
 // PrintFaultSweep renders the campaign results.
 func PrintFaultSweep(w io.Writer, rows []FaultSweepRow) {
 	Section(w, "Fault-injection sweep: invariant violations per scheme and fault rate")
-	fmt.Fprintf(w, "%-14s %6s %9s %8s %8s %8s %7s %7s %9s %7s %9s\n",
+	fmt.Fprintf(w, "%-14s %6s %9s %8s %8s %8s %7s %7s %5s %7s %9s %7s %9s\n",
 		"scheme", "rate", "opps", "faults", "outview", "untrust", "squash",
-		"stale", "spurious", "leaked", "verdict")
+		"stale", "tlb", "clone", "spurious", "leaked", "verdict")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-14s %6g %9d %8d %8d %8d %7d %7d %9d %7d %9s\n",
+		fmt.Fprintf(w, "%-14s %6g %9d %8d %8d %8d %7d %7d %5d %7d %9d %7d %9s\n",
 			r.Scheme, r.Rate, r.Opportunities, r.Injected,
 			r.OutOfView, r.Untrusted, r.SquashLeaks, r.StaleViews,
+			r.TLBStale, r.CloneDiff,
 			r.SpuriousBlock, r.Leaked, r.verdict())
 	}
 	var errs int

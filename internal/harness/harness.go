@@ -100,6 +100,13 @@ type Harness struct {
 	// compare clone-backed runs against genuinely fresh boots.
 	forceFresh bool
 
+	// Fresh-boot digest memo: the faultsweep checker judges every cloned
+	// campaign machine against this reference (one genuine kernel.New boot,
+	// paid once per harness).
+	freshDig     uint64
+	freshDigErr  error
+	freshDigOnce sync.Once
+
 	wholeScan     scanner.Report // Fig 9.1's unbounded campaign
 	wholeScanOnce sync.Once
 
@@ -214,6 +221,24 @@ func (h *Harness) BootMachine(cfg kernel.Config) (*kernel.Kernel, error) {
 		return nil, fmt.Errorf("boot snapshot: %w", c.err)
 	}
 	return c.s.Clone(), nil
+}
+
+// freshBootDigest memoizes the StateDigest of a genuinely fresh boot
+// (kernel.New, never the snapshot cache) under the default config — the
+// reference the faultsweep invariant checker compares snapshot clones
+// against. Booting outside BootMachine is deliberate: a corrupted snapshot
+// must not supply its own reference.
+func (h *Harness) freshBootDigest() (uint64, error) {
+	h.freshDigOnce.Do(func() {
+		k, err := kernel.New(kernel.DefaultConfig(), h.Img)
+		if err != nil {
+			h.freshDigErr = fmt.Errorf("fresh reference boot: %w", err)
+			return
+		}
+		h.freshDig = k.StateDigest()
+		k.Release()
+	})
+	return h.freshDig, h.freshDigErr
 }
 
 // Workloads returns LEBench plus the four applications. The list is built

@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 )
 
@@ -122,6 +125,14 @@ func Experiments() []Experiment {
 				}
 				return err
 			}},
+		{"relsec", "relative-security trace equivalence, witness, repair loop",
+			func(h *Harness, w io.Writer) error {
+				rep, err := h.RelSec()
+				if rep != nil {
+					PrintRelSec(w, rep)
+				}
+				return err
+			}},
 	}
 }
 
@@ -201,6 +212,42 @@ func saveCheckpoint(path, fp string, done map[string]ExpResult) error {
 	return os.Rename(tmp, path)
 }
 
+// retryBackoff computes the pause before retry attempt n (n >= 1) of the
+// named experiment: exponential from 100ms, capped at 2s, with ±25% jitter.
+// The jitter is drawn from a generator seeded off (supervisor seed,
+// experiment, attempt), never from the wall clock, so a replayed supervision
+// backs off identically and checkpoint diffs stay clean.
+func retryBackoff(seed int64, name string, attempt int) time.Duration {
+	d := 100 * time.Millisecond << uint(attempt-1)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	jitterSeed := CellSeed(seed, "retry", name, fmt.Sprint(attempt))
+	rng := rand.New(rand.NewSource(jitterSeed))
+	return time.Duration(float64(d) * (1 + 0.25*(2*rng.Float64()-1)))
+}
+
+// sleepFn pauses between retry attempts; a variable so tests can stub the
+// clock out and assert the backoff schedule without real waiting.
+var sleepFn = time.Sleep
+
+// classifyWriteError labels a checkpoint-write failure for the operator. A
+// checkpoint that cannot be written is fatal: continuing would silently run
+// experiments whose results are lost on the next resume, and the conditions
+// below don't fix themselves between experiments.
+func classifyWriteError(err error) string {
+	switch {
+	case errors.Is(err, syscall.ENOSPC):
+		return "disk full"
+	case errors.Is(err, io.ErrShortWrite):
+		return "partial write"
+	case errors.Is(err, os.ErrPermission):
+		return "permission denied"
+	default:
+		return "write failed"
+	}
+}
+
 // runProtected executes one experiment attempt with panic recovery and an
 // optional deadline, reusing the cell runner's protection machinery (an
 // experiment is a one-cell grid from the supervisor's point of view). On
@@ -259,6 +306,9 @@ func SuperviseExperiments(opt Options, sup SupervisorOptions, exps []Experiment,
 		for attempt := 0; attempt < sup.Retries; attempt++ {
 			res.Attempts = attempt + 1
 			if attempt > 0 {
+				// Back off before retrying: transient host pressure (memory,
+				// scheduler) is the main reason a reseeded retry succeeds.
+				sleepFn(retryBackoff(opt.Seed, e.Name, attempt))
 				ro := opt
 				ro.Seed = opt.Seed + int64(attempt)
 				h = New(ro)
@@ -285,7 +335,8 @@ func SuperviseExperiments(opt Options, sup SupervisorOptions, exps []Experiment,
 		done[e.Name] = res
 		if sup.StateFile != "" {
 			if err := saveCheckpoint(sup.StateFile, fp, done); err != nil {
-				fmt.Fprintf(w, "[supervisor] checkpoint write failed: %v\n", err)
+				return results, fmt.Errorf("supervisor: checkpoint %s (%s): %w",
+					sup.StateFile, classifyWriteError(err), err)
 			}
 		}
 	}

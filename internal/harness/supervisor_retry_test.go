@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRetryBackoffSchedule(t *testing.T) {
+	// Exponential base, 2s cap, ±25% jitter.
+	wantBase := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 2 * time.Second,
+		2 * time.Second,
+	}
+	for i, base := range wantBase {
+		got := retryBackoff(1, "fig9.2", i+1)
+		lo := time.Duration(float64(base) * 0.75)
+		hi := time.Duration(float64(base) * 1.25)
+		if got < lo || got > hi {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", i+1, got, lo, hi)
+		}
+	}
+	// Deterministic: same (seed, name, attempt) -> same pause; the jitter
+	// must actually depend on the inputs.
+	if retryBackoff(1, "a", 1) != retryBackoff(1, "a", 1) {
+		t.Error("backoff is not deterministic")
+	}
+	if retryBackoff(1, "a", 3) == retryBackoff(2, "a", 3) &&
+		retryBackoff(1, "a", 3) == retryBackoff(1, "b", 3) {
+		t.Error("jitter ignores seed and experiment name")
+	}
+}
+
+func TestSupervisorBacksOffBetweenRetries(t *testing.T) {
+	var slept []time.Duration
+	sleepFn = func(d time.Duration) { slept = append(slept, d) }
+	defer func() { sleepFn = time.Sleep }()
+
+	opt := QuickOptions()
+	boom := Experiment{Name: "boom", Run: func(h *Harness, w io.Writer) error {
+		return errors.New("always fails")
+	}}
+	_, err := SuperviseExperiments(opt, SupervisorOptions{Retries: 3}, []Experiment{boom}, io.Discard)
+	if err == nil {
+		t.Fatal("supervision of an always-failing experiment must report failure")
+	}
+	want := []time.Duration{
+		retryBackoff(opt.Seed, "boom", 1),
+		retryBackoff(opt.Seed, "boom", 2),
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("got %d sleeps %v, want %d", len(slept), slept, len(want))
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("sleep %d: got %v want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestClassifyWriteError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{fmt.Errorf("save: %w", syscall.ENOSPC), "disk full"},
+		{fmt.Errorf("save: %w", io.ErrShortWrite), "partial write"},
+		{fmt.Errorf("save: %w", os.ErrPermission), "permission denied"},
+		{errors.New("anything else"), "write failed"},
+	}
+	for _, c := range cases {
+		if got := classifyWriteError(c.err); got != c.want {
+			t.Errorf("classifyWriteError(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestCheckpointWriteFailureIsFatal(t *testing.T) {
+	sleepFn = func(time.Duration) {}
+	defer func() { sleepFn = time.Sleep }()
+
+	dir := t.TempDir()
+	// A directory at the checkpoint path makes the atomic rename fail.
+	state := dir + "/cp.json"
+	if err := os.Mkdir(state, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ok := Experiment{Name: "ok", Run: func(h *Harness, w io.Writer) error { return nil }}
+	never := Experiment{Name: "never", Run: func(h *Harness, w io.Writer) error {
+		t.Error("supervision continued past a failed checkpoint write")
+		return nil
+	}}
+	results, err := SuperviseExperiments(QuickOptions(),
+		SupervisorOptions{Retries: 1, StateFile: state}, []Experiment{ok, never}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("want fatal checkpoint error, got %v", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("want the completed experiment's result returned, got %d", len(results))
+	}
+}

@@ -1,0 +1,40 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"repro/internal/memsim"
+)
+
+// digestFrames bounds StateDigest's memory sweep to the boot-populated low
+// frames: the null guard, the kernel globals, the XUSB array, the futex
+// hash and the first allocator-handed pages all live there, so a clone
+// whose copy-on-write plumbing corrupted boot state diverges inside this
+// window. Hashing all of physical memory would cost more than the campaigns
+// the digest guards.
+const digestFrames = 64
+
+// StateDigest summarises the machine's boot-relevant state into one FNV-64a
+// value: the low physical frames plus the boot-assigned kernel layout
+// fields. Two requirements shape it: a fresh boot and a snapshot clone of a
+// fresh boot must digest identically (the invariant faultsweep checks), and
+// it must be cheap enough to run once per campaign.
+func (k *Kernel) StateDigest() uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, memsim.PageSize)
+	n := uint64(digestFrames)
+	if max := k.Phys.Bytes() / memsim.PageSize; n > max {
+		n = max
+	}
+	for pfn := uint64(0); pfn < n; pfn++ {
+		k.Phys.CopyOut(pfn*memsim.PageSize, buf)
+		h.Write(buf)
+	}
+	var w [8]byte
+	for _, v := range []uint64{uint64(k.nextPID), k.xusbBufVA, uint64(len(k.tasks))} {
+		binary.LittleEndian.PutUint64(w[:], v)
+		h.Write(w[:])
+	}
+	return h.Sum64()
+}

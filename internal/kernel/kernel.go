@@ -31,6 +31,7 @@ import (
 	"repro/internal/kimage"
 	"repro/internal/ktrace"
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/sec"
 	"repro/internal/slab"
@@ -241,6 +242,29 @@ func (k *Kernel) readKernel(va uint64) uint64 {
 // XUSBTableVA exposes the CVE gadget's array base (attack PoCs compute
 // out-of-bounds indices relative to it).
 func (k *Kernel) XUSBTableVA() uint64 { return k.xusbBufVA }
+
+// GenTableVA exposes the generated census gadgets' shared array base (the
+// boot-time value of the OffGenTable global).
+func (k *Kernel) GenTableVA() uint64 { return kimage.GlobalsVA() + kimage.OffGlobalStats }
+
+// SetGenLimit sets the generated census gadgets' shared bounds global. Boot
+// leaves it at zero (every index architecturally out of bounds); the
+// relative-security harness raises it so in-bounds calls can mistrain the
+// bounds checks exactly like the CVE gadget's real limit does.
+func (k *Kernel) SetGenLimit(limit uint64) {
+	k.writeKernel(kimage.GlobalsVA()+kimage.OffGenLimit, limit)
+}
+
+// AttachObs wires an observation-trace recorder into every channel source
+// on this machine: the core (wrong-path loads, transient store buffer and
+// port events, squash timings), the predictor (mispredict windows) and the
+// cache hierarchy (fills/evictions). nil detaches. Machines without a
+// recorder pay only nil checks, so this is strictly opt-in per machine.
+func (k *Kernel) AttachObs(r *obs.Recorder) {
+	k.Core.Obs = r
+	k.Core.BP.Obs = r
+	k.Core.H.AttachObs(r)
+}
 
 // SetSecretRef publishes a secret reference in the kernel global that
 // victim_fn1 loads (Figure 4.2 setup).

@@ -15,6 +15,11 @@
 //	(*cpu.Core).specLoad — the single transient-path data accessor; it
 //	                       performs the policy check, the wrong-path cache
 //	                       fill, and the security-checker report in order.
+//	(*cpu.Core).observeTransientLoad
+//	                     — the observation-trace recorder's value
+//	                       annotation: reached only from specLoad after the
+//	                       policy has already allowed the load, so the read
+//	                       it performs can never bypass a defense verdict.
 package specgate
 
 import (
@@ -48,6 +53,10 @@ var readAccessors = map[string]map[string]bool{
 var Blessed = map[string]bool{
 	"cpu.Core.Run":      true,
 	"cpu.Core.specLoad": true,
+	// The obs hook reads the just-allowed load's value for the trace's
+	// undigested annotation; specLoad has already run the policy check by
+	// the time it is called.
+	"cpu.Core.observeTransientLoad": true,
 }
 
 func run(pass *analysis.Pass) error {

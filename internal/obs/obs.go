@@ -1,0 +1,226 @@
+// Package obs records observation traces: the sequence of
+// microarchitecturally visible events an attacker-grade observer could
+// distinguish. It is the executable form of the relative-security oracle
+// (fslh-rocq SpecRelative.v): a defense is sound iff two runs whose initial
+// states differ only in secrets produce *identical* observation traces, so
+// the trace — not a verdict bit — is the unit of comparison.
+//
+// What counts as an observation is deliberately the union of the channels
+// the simulator models:
+//
+//   - cache fills and evictions (the flush+reload / prime+probe channel),
+//   - wrong-path loads that miss the L1 (the only transient loads with a
+//     microarchitectural footprint; an L1 hit changes no cache state, which
+//     is exactly why Delay-on-Miss may allow it),
+//   - transient stores entering the store buffer (the MDS family's
+//     sampling target),
+//   - transient multiplies reaching an execution port (operand-dependent
+//     issue latency — port contention),
+//   - mispredict windows opening and the timing of their squash.
+//
+// Each event splits its payload in two: the digested fields (Kind, PC,
+// Addr, Obs) define trace equality, while Note is a diagnostic annotation
+// (e.g. the value a wrong-path load returned) that never enters the digest.
+// The distinction matters for soundness of the oracle itself: a scheme like
+// STT legitimately lets an attacker-addressed wrong-path load execute and
+// blocks only the transmit, so the loaded *value* is secret-dependent while
+// nothing observable is — digesting the value would flag a divergence no
+// attacker can see. The annotation survives so a distinguishing trace can
+// name the byte that leaked.
+//
+// A Recorder keeps a bounded prefix of the events (so the first divergence
+// can be pretty-printed) plus a rolling digest and total count over *all*
+// events, so equality checks never lose fidelity to the buffer bound.
+package obs
+
+import "fmt"
+
+// Kind classifies one observable event.
+type Kind uint8
+
+// Event kinds, in the order the channels are introduced above.
+const (
+	// KindFill is a cache-line fill; Addr is the line address, Note packs
+	// array/set/way.
+	KindFill Kind = iota + 1
+	// KindEvict is the eviction a fill forced; payloads as KindFill.
+	KindEvict
+	// KindSpecLoad is a policy-allowed wrong-path load that missed the L1;
+	// Addr is the virtual address, Note is the loaded value (annotation).
+	KindSpecLoad
+	// KindSBuf is a transient store entering the store buffer; Addr is the
+	// virtual address and Obs the stored value (both observable to an MDS
+	// sampler).
+	KindSBuf
+	// KindPort is a transient multiply issued to an execution port; Obs
+	// folds the operands (operand-dependent issue latency).
+	KindPort
+	// KindMispredict is a mispredict window opening; Addr is the wrong-path
+	// entry PC.
+	KindMispredict
+	// KindSquash closes a window; Obs is the resolve time's bit pattern
+	// (the timing channel).
+	KindSquash
+)
+
+// String names the kind for trace pretty-printing.
+func (k Kind) String() string {
+	switch k {
+	case KindFill:
+		return "fill"
+	case KindEvict:
+		return "evict"
+	case KindSpecLoad:
+		return "specload"
+	case KindSBuf:
+		return "sbuf"
+	case KindPort:
+		return "port"
+	case KindMispredict:
+		return "mispredict"
+	case KindSquash:
+		return "squash"
+	default:
+		return "?"
+	}
+}
+
+// Event is one observation. Kind, PC, Addr and Obs are digested (they define
+// trace equality); Note is an undigested annotation for diagnostics.
+type Event struct {
+	Kind Kind
+	PC   uint64
+	Addr uint64
+	Obs  uint64
+	Note uint64
+}
+
+// String renders the digested payload (and the annotation when set).
+func (e Event) String() string {
+	s := fmt.Sprintf("%-10s pc=%#x addr=%#x obs=%#x", e.Kind, e.PC, e.Addr, e.Obs)
+	if e.Note != 0 {
+		s += fmt.Sprintf(" [note=%#x]", e.Note)
+	}
+	return s
+}
+
+// FNV-64a, inlined so recording stays allocation-free.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func fnvWord(h, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= w & 0xff
+		h *= fnvPrime
+		w >>= 8
+	}
+	return h
+}
+
+// Mark is a checkpoint in a trace: the event count and rolling digest at a
+// point in time. Two runs whose marks agree have recorded equal digested
+// histories up to that point.
+type Mark struct {
+	N      uint64
+	Digest uint64
+}
+
+// Recorder accumulates one run's observation trace: a bounded prefix of the
+// events plus a rolling digest and count covering every event ever recorded.
+// The zero Recorder is not usable; call NewRecorder.
+type Recorder struct {
+	events  []Event
+	cap     int
+	n       uint64
+	dropped uint64
+	digest  uint64
+}
+
+// NewRecorder creates a recorder retaining at most capacity events (the
+// digest and count keep covering events beyond it).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		panic("obs: recorder capacity must be positive")
+	}
+	return &Recorder{cap: capacity, digest: fnvOffset}
+}
+
+// Record appends one event: the digested payload always folds into the
+// rolling digest; the event itself is retained only while the prefix buffer
+// has room. Note never enters the digest.
+func (r *Recorder) Record(e Event) {
+	r.n++
+	h := r.digest
+	h = fnvWord(h, uint64(e.Kind))
+	h = fnvWord(h, e.PC)
+	h = fnvWord(h, e.Addr)
+	h = fnvWord(h, e.Obs)
+	r.digest = h
+	if len(r.events) < r.cap {
+		r.events = append(r.events, e)
+	} else {
+		r.dropped++
+	}
+}
+
+// Len is the total number of events recorded (including dropped ones).
+func (r *Recorder) Len() uint64 { return r.n }
+
+// Dropped is the number of events past the retained prefix. A zero value
+// means Events holds the full trace.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Digest is the rolling digest over every event's digested payload.
+func (r *Recorder) Digest() uint64 { return r.digest }
+
+// Events returns the retained prefix (aliased, do not mutate).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Mark checkpoints the trace.
+func (r *Recorder) Mark() Mark { return Mark{N: r.n, Digest: r.digest} }
+
+// Reset clears the recorder to its initial state (segment boundaries in
+// per-gadget differential runs).
+func (r *Recorder) Reset() {
+	r.events = r.events[:0]
+	r.n, r.dropped = 0, 0
+	r.digest = fnvOffset
+}
+
+// Equal reports whether two recorders hold equal traces: same event count
+// and same rolling digest over the digested payloads.
+func Equal(a, b *Recorder) bool {
+	return a.n == b.n && a.digest == b.digest
+}
+
+// FirstDivergence locates the first position where the two retained
+// prefixes disagree. It returns the index and the two events at it; an
+// event is zero when one trace ended before the other. ok is false when the
+// retained prefixes are identical (any divergence then lies past the
+// retention bound — check Equal and Dropped).
+func FirstDivergence(a, b *Recorder) (idx int, ea, eb Event, ok bool) {
+	ae, be := a.events, b.events
+	n := len(ae)
+	if len(be) < n {
+		n = len(be)
+	}
+	for i := 0; i < n; i++ {
+		if !sameObservation(ae[i], be[i]) {
+			return i, ae[i], be[i], true
+		}
+	}
+	if len(ae) > n {
+		return n, ae[n], Event{}, true
+	}
+	if len(be) > n {
+		return n, Event{}, be[n], true
+	}
+	return 0, Event{}, Event{}, false
+}
+
+// sameObservation compares only the digested payload (Note is annotation).
+func sameObservation(a, b Event) bool {
+	return a.Kind == b.Kind && a.PC == b.PC && a.Addr == b.Addr && a.Obs == b.Obs
+}

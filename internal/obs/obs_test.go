@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDigestCoversDigestedPayloadOnly(t *testing.T) {
+	a := NewRecorder(8)
+	b := NewRecorder(8)
+	a.Record(Event{Kind: KindSpecLoad, PC: 0x100, Addr: 0x2000, Note: 0x41})
+	b.Record(Event{Kind: KindSpecLoad, PC: 0x100, Addr: 0x2000, Note: 0x42})
+	if !Equal(a, b) {
+		t.Fatal("Note must not enter the digest: annotation-only difference flagged")
+	}
+	b.Record(Event{Kind: KindSpecLoad, PC: 0x100, Addr: 0x3000})
+	a.Record(Event{Kind: KindSpecLoad, PC: 0x100, Addr: 0x2000})
+	if Equal(a, b) {
+		t.Fatal("Addr difference must change the digest")
+	}
+}
+
+func TestEachDigestedFieldMatters(t *testing.T) {
+	base := Event{Kind: KindFill, PC: 1, Addr: 2, Obs: 3}
+	variants := []Event{
+		{Kind: KindEvict, PC: 1, Addr: 2, Obs: 3},
+		{Kind: KindFill, PC: 9, Addr: 2, Obs: 3},
+		{Kind: KindFill, PC: 1, Addr: 9, Obs: 3},
+		{Kind: KindFill, PC: 1, Addr: 2, Obs: 9},
+	}
+	for i, v := range variants {
+		a, b := NewRecorder(1), NewRecorder(1)
+		a.Record(base)
+		b.Record(v)
+		if Equal(a, b) {
+			t.Errorf("variant %d: digested field change not reflected in digest", i)
+		}
+	}
+}
+
+func TestDigestBeyondRetention(t *testing.T) {
+	// Equality must keep full fidelity past the retained prefix.
+	a, b := NewRecorder(4), NewRecorder(4)
+	for i := 0; i < 100; i++ {
+		a.Record(Event{Kind: KindFill, Addr: uint64(i)})
+		b.Record(Event{Kind: KindFill, Addr: uint64(i)})
+	}
+	if a.Dropped() != 96 || a.Len() != 100 {
+		t.Fatalf("dropped=%d len=%d, want 96/100", a.Dropped(), a.Len())
+	}
+	if !Equal(a, b) {
+		t.Fatal("identical traces must stay equal past retention")
+	}
+	// A difference in the dropped region must still be caught.
+	a.Record(Event{Kind: KindFill, Addr: 1000})
+	b.Record(Event{Kind: KindFill, Addr: 2000})
+	if Equal(a, b) {
+		t.Fatal("divergence past the retention bound must change the digest")
+	}
+}
+
+func TestFirstDivergence(t *testing.T) {
+	a, b := NewRecorder(16), NewRecorder(16)
+	for i := 0; i < 5; i++ {
+		a.Record(Event{Kind: KindFill, Addr: uint64(i)})
+		b.Record(Event{Kind: KindFill, Addr: uint64(i)})
+	}
+	if _, _, _, ok := FirstDivergence(a, b); ok {
+		t.Fatal("equal prefixes reported a divergence")
+	}
+	a.Record(Event{Kind: KindSpecLoad, PC: 7, Addr: 0xaa})
+	b.Record(Event{Kind: KindSpecLoad, PC: 7, Addr: 0xbb})
+	idx, ea, eb, ok := FirstDivergence(a, b)
+	if !ok || idx != 5 || ea.Addr != 0xaa || eb.Addr != 0xbb {
+		t.Fatalf("got idx=%d ea=%v eb=%v ok=%v", idx, ea, eb, ok)
+	}
+
+	// Length mismatch: the longer trace's extra event is the divergence.
+	c, d := NewRecorder(16), NewRecorder(16)
+	c.Record(Event{Kind: KindFill, Addr: 1})
+	c.Record(Event{Kind: KindSquash, PC: 2})
+	d.Record(Event{Kind: KindFill, Addr: 1})
+	idx, ea, eb, ok = FirstDivergence(c, d)
+	if !ok || idx != 1 || ea.Kind != KindSquash || eb != (Event{}) {
+		t.Fatalf("length mismatch: got idx=%d ea=%v eb=%v ok=%v", idx, ea, eb, ok)
+	}
+}
+
+func TestMarkAndReset(t *testing.T) {
+	r := NewRecorder(4)
+	r.Record(Event{Kind: KindFill, Addr: 1})
+	m1 := r.Mark()
+	r.Record(Event{Kind: KindFill, Addr: 2})
+	m2 := r.Mark()
+	if m1 == m2 || m1.N != 1 || m2.N != 2 {
+		t.Fatalf("marks did not checkpoint: %v %v", m1, m2)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 || len(r.Events()) != 0 {
+		t.Fatal("reset did not clear the recorder")
+	}
+	r.Record(Event{Kind: KindFill, Addr: 1})
+	if r.Mark() != m1 {
+		t.Fatal("a replayed segment after Reset must reproduce its mark")
+	}
+}
+
+func TestDigestOrderSensitive(t *testing.T) {
+	a, b := NewRecorder(2), NewRecorder(2)
+	e1 := Event{Kind: KindFill, Addr: 1}
+	e2 := Event{Kind: KindFill, Addr: 2}
+	a.Record(e1)
+	a.Record(e2)
+	b.Record(e2)
+	b.Record(e1)
+	if Equal(a, b) {
+		t.Fatal("trace equality must be order-sensitive")
+	}
+}
+
+func TestRecorderDeterministicUnderRandomLoad(t *testing.T) {
+	// Same event sequence -> same digest, independent of retention capacity.
+	rng := rand.New(rand.NewSource(42))
+	events := make([]Event, 500)
+	for i := range events {
+		events[i] = Event{
+			Kind: Kind(1 + rng.Intn(7)),
+			PC:   rng.Uint64(), Addr: rng.Uint64(), Obs: rng.Uint64(),
+			Note: rng.Uint64(),
+		}
+	}
+	small, large := NewRecorder(1), NewRecorder(1024)
+	for _, e := range events {
+		small.Record(e)
+		large.Record(e)
+	}
+	if !Equal(small, large) {
+		t.Fatal("digest must not depend on retention capacity")
+	}
+}

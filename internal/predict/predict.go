@@ -13,6 +13,8 @@
 //     (§2.2) and Retbleed-style return hijacking.
 package predict
 
+import "repro/internal/obs"
+
 // CondPredictor is a bimodal conditional branch predictor: a table of 2-bit
 // saturating counters indexed by PC. It stands in for gem5's L-TAGE; the
 // property the paper's attacks need — that an attacker who repeatedly drives
@@ -205,6 +207,23 @@ type Predictor struct {
 	Cond *CondPredictor
 	BTB  *BTB
 	RAS  *RAS
+
+	// Obs, when set, receives one event per mispredict window the core
+	// opens on this predictor's advice (internal/obs). Nil-guarded: a
+	// machine without a recorder pays only the predicate.
+	Obs *obs.Recorder
+}
+
+// NoteMispredict records a mispredict window opening: the control
+// instruction at brPC sent the frontend down the wrong path starting at
+// wrongPC. The window itself is observable (its wrong-path fetches perturb
+// shared predictor and cache state), so it is part of the observation
+// trace, not just a statistic.
+func (p *Predictor) NoteMispredict(brPC, wrongPC uint64) {
+	if p.Obs == nil {
+		return
+	}
+	p.Obs.Record(obs.Event{Kind: obs.KindMispredict, PC: brPC, Addr: wrongPC})
 }
 
 // New returns the default Table 7.1 predictor: L-TAGE stand-in with 16K

@@ -228,6 +228,21 @@ func ScanWithRand(img *kimage.Image, scope []int, rng *rand.Rand) Report {
 	return rep
 }
 
+// FenceSites counts the load instructions in f — the sites a per-function
+// FENCE repair must guard, and the unit the CureSpec-style repair loop's
+// cost report charges. (A compiler repair would insert one lfence per
+// load-before-branch-resolution site; blocking every load in the function
+// is the conservative hardware equivalent SelectiveFencePolicy implements.)
+func FenceSites(f *kimage.Func) int {
+	n := 0
+	for _, in := range f.Code {
+		if in.Op == isa.OpLoad {
+			n++
+		}
+	}
+	return n
+}
+
 // Speedup compares the ISV-bounded campaign's discovery rate to the
 // unbounded one's — the Figure 9.1 metric.
 func Speedup(bounded, unbounded Report) float64 {

@@ -134,6 +134,56 @@ func (*STTPolicy) OnTransmit(a *cpu.Access) cpu.Verdict {
 	return cpu.Allow
 }
 
+// BlockTransientStore implements cpu.TransientStoreGate: in STT's taint
+// model a store of speculatively loaded data is itself a transmitter — the
+// value would sit in a microarchitectural buffer that a later wrong-path
+// load can sample (the MDS channel) — so tainted transient stores never
+// enter the store buffer. Untainted stores keep baseline behaviour.
+func (*STTPolicy) BlockTransientStore(dataTainted bool) bool { return dataTainted }
+
+// VARange is a half-open virtual-address range [Start, End).
+type VARange struct{ Start, End uint64 }
+
+// SelectiveFencePolicy applies FENCE semantics only to instructions inside
+// the hardened ranges — the per-function repair unit of the CureSpec-style
+// loop (internal/harness): instead of fencing the whole kernel, the repair
+// engine hardens exactly the functions the scanner flagged, one per
+// iteration, and re-verifies. Ranges must be sorted by Start and
+// non-overlapping (harness builds them from function extents).
+type SelectiveFencePolicy struct {
+	nop
+	Ranges []VARange
+}
+
+// Name implements cpu.Policy.
+func (*SelectiveFencePolicy) Name() string { return "FENCE-selective" }
+
+// Hardened reports whether pc falls inside a hardened range.
+func (p *SelectiveFencePolicy) Hardened(pc uint64) bool {
+	// Binary search for the first range ending past pc.
+	lo, hi := 0, len(p.Ranges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.Ranges[mid].End > pc {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo < len(p.Ranges) && p.Ranges[lo].Start <= pc
+}
+
+// OnTransmit implements cpu.Policy: FENCE's rule, scoped to the hardened
+// functions. Blocking the loads inside a flagged function kills both the
+// access and (through poisoning) the transmit step of any gadget it hosts,
+// whichever channel the gadget transmits over.
+func (p *SelectiveFencePolicy) OnTransmit(a *cpu.Access) cpu.Verdict {
+	if a.IsLoad && p.Hardened(a.PC) {
+		return cpu.Block
+	}
+	return cpu.Allow
+}
+
 // SpotPolicy models the deployed software mitigations: Retpoline converts
 // kernel indirect branches into serialized constructs (cycles + no target
 // speculation), KPTI adds a page-table switch on every kernel crossing.
