@@ -5,7 +5,7 @@ GO ?= go
 # drops combined coverage below this.
 COVER_MIN ?= 70
 
-.PHONY: build test vet race fuzzseed lint cover check bench benchsmoke benchdiff benchdiffsmoke relsecsmoke clean
+.PHONY: build test vet race fuzzseed lint cover check bench benchsmoke benchdiff benchdiffsmoke relsecsmoke lockstepsmoke clean
 
 # Packages carrying the host-perf microbenchmarks (cache access, vmm
 # translate, cpu issue loop, kernel syscall round-trip).
@@ -26,7 +26,7 @@ race:
 # fuzzseed replays the checked-in fuzz seed corpus as regular tests
 # (no -fuzz: that would explore; CI only replays known inputs).
 fuzzseed:
-	$(GO) test -run=Fuzz ./internal/kernel/
+	$(GO) test -run=Fuzz ./internal/kernel/ ./internal/cpu/
 
 # lint runs the project's own go/analysis suite (determinism, errwrap,
 # specgate — see DESIGN.md §8). Exit 1 means an unannotated finding;
@@ -46,7 +46,13 @@ cover:
 # bench layer against bit-rot without paying for real measurement) + a
 # deterministic benchmark-coverage diff against the committed perf
 # trajectory + an end-to-end relative-security smoke.
-check: vet lint race fuzzseed benchsmoke benchdiffsmoke relsecsmoke
+check: vet lint race fuzzseed lockstepsmoke benchsmoke benchdiffsmoke relsecsmoke
+
+# lockstepsmoke runs the bounded threaded-vs-interpreted differential
+# oracle at machine level: one scheme, a LEBench slice, one census gadget,
+# comparing per-committed-instruction state digests (DESIGN.md §10).
+lockstepsmoke:
+	$(GO) test -count=1 -run='^TestLockstepSmoke$$' ./internal/harness/
 
 # relsecsmoke runs the relative-security experiment end-to-end through the
 # CLI and asserts its two load-bearing verdicts: every sound scheme is

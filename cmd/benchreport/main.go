@@ -71,6 +71,12 @@ type SimProbe struct {
 	SimInsts    uint64  `json:"sim_insts"`
 	WallSeconds float64 `json:"wall_seconds"`
 	SimMIPS     float64 `json:"sim_mips"`
+	// ThreadedShare is the fraction of the probe's committed instructions
+	// the pre-decoded threaded engine executed (the rest ran on the
+	// interpreter: transient windows, BB-cache misses, user code).
+	// BBHitRate is decoded-block lookups that hit, cumulative since boot.
+	ThreadedShare float64 `json:"threaded_share"`
+	BBHitRate     float64 `json:"bb_hit_rate"`
 }
 
 var benchPkgs = []string{
@@ -136,7 +142,9 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d benchmarks", *out, len(rep.Micro))
 	if rep.EndToEnd != nil {
-		fmt.Printf(", %.2f cells/sec, %.2f sim MIPS", rep.EndToEnd.CellsPerSec, rep.SimProbe.SimMIPS)
+		fmt.Printf(", %.2f cells/sec, %.2f sim MIPS (threaded share %.0f%%, bb hit rate %.1f%%)",
+			rep.EndToEnd.CellsPerSec, rep.SimProbe.SimMIPS,
+			100*rep.SimProbe.ThreadedShare, 100*rep.SimProbe.BBHitRate)
 	}
 	fmt.Println()
 }
@@ -320,6 +328,7 @@ func simProbe() (*SimProbe, error) {
 		return nil, err
 	}
 	insts0 := k.Core.Stats.Insts
+	threaded0 := k.Core.Stats.ThreadedInsts
 	start := time.Now()
 	for i := 0; i < 3000; i++ {
 		if _, err := k.Syscall(p, kimage.NRGetpid); err != nil {
@@ -332,7 +341,14 @@ func simProbe() (*SimProbe, error) {
 	}
 	wall := time.Since(start).Seconds()
 	insts := k.Core.Stats.Insts - insts0
-	return &SimProbe{SimInsts: insts, WallSeconds: wall, SimMIPS: float64(insts) / wall / 1e6}, nil
+	sp := &SimProbe{SimInsts: insts, WallSeconds: wall, SimMIPS: float64(insts) / wall / 1e6}
+	if s := &k.Core.Stats; insts > 0 {
+		sp.ThreadedShare = float64(s.ThreadedInsts-threaded0) / float64(insts)
+		if s.BBLookups > 0 {
+			sp.BBHitRate = float64(s.BBHits) / float64(s.BBLookups)
+		}
+	}
+	return sp, nil
 }
 
 func fatal(err error) {

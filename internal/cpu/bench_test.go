@@ -3,6 +3,7 @@ package cpu
 import (
 	"testing"
 
+	"repro/internal/bbcache"
 	"repro/internal/isa"
 )
 
@@ -48,3 +49,60 @@ func BenchmarkIssueLoop(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/inst")
 }
+
+// dispatchWorld is benchWorld with the program also installed as flat
+// kernel text, optionally pre-decoded into the threaded engine. The
+// program, memory layout, and warmup are identical across the pair, so the
+// Interp/Threaded delta isolates dispatch cost: fetch+decode+switch per
+// instruction vs pre-decoded block replay.
+func dispatchWorld(b *testing.B, threaded bool) (*world, uint64) {
+	w := newWorld()
+	a := isa.NewAsm()
+	a.MovImm(isa.R2, 0)
+	a.MovImm(isa.R3, 100)
+	a.MovImm(isa.R4, int64(dm(0x2000)))
+	a.Label("loop")
+	a.Load(isa.R5, isa.R4, 0)
+	a.AddImm(isa.R5, isa.R5, 1)
+	a.Store(isa.R4, 0, isa.R5)
+	a.AddImm(isa.R2, isa.R2, 1)
+	a.Branch(isa.CLT, isa.R2, isa.R3, "loop")
+	a.Halt()
+	w.code.place(entry, a.MustBuild())
+	base, flat, valid := flatten(w.code)
+	w.core.SetKernelText(base, flat, valid)
+	if threaded {
+		prog := bbcache.Build(entry, flat, valid, []uint64{entry}, 1)
+		if prog.NumBlocks() == 0 {
+			b.Fatal("no blocks decoded")
+		}
+		w.core.SetThreadedSource(func() *bbcache.Program { return prog })
+	}
+	if res := w.core.Run(entry, 100000); res.Fault || res.Truncated {
+		b.Fatalf("warmup run: %+v", res)
+	}
+	if threaded && w.core.Stats.ThreadedInsts == 0 {
+		b.Fatal("threaded engine never ran")
+	}
+	return w, entry
+}
+
+func benchDispatch(b *testing.B, threaded bool) {
+	w, pc := dispatchWorld(b, threaded)
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res := w.core.Run(pc, 100000)
+		if res.Fault {
+			b.Fatal("fault")
+		}
+		insts += res.Insts
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/inst")
+}
+
+// BenchmarkDispatchInterp and BenchmarkDispatchThreaded run the same hot
+// loop through the two engines; compare their ns/inst to read off the
+// dispatch saving in isolation from policy, wrong-path, and kernel effects.
+func BenchmarkDispatchInterp(b *testing.B)   { benchDispatch(b, false) }
+func BenchmarkDispatchThreaded(b *testing.B) { benchDispatch(b, true) }

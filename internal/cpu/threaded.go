@@ -1,0 +1,441 @@
+// Threaded execution engine: the fast path of Run. Committed-path kernel
+// code dispatches over the pre-decoded basic-block stream built by
+// internal/bbcache instead of fetching and decoding one instruction at a
+// time. Every op case below mirrors the corresponding interpreter case in
+// stepInterp float-operation-for-float-operation — same max() chains, same
+// policy consults, same cache accesses in the same order — so the two
+// engines produce bit-identical simulated state. The lockstep oracle
+// (LockstepRun) and FuzzBlockDecode enforce that equivalence continuously.
+//
+// Fallback rule: the threaded engine only ever runs the *committed* path in
+// kernel mode. Wrong-path execution inside squash windows stays on the
+// interpreter (runTransient, reached through squashWindow exactly as
+// before), as does user code, any PC without a decoded leader block, and
+// any undecodable word. Falling back is always safe: the interpreter makes
+// progress one instruction at a time and the dispatch loop re-attaches at
+// the next decoded leader.
+package cpu
+
+import (
+	"repro/internal/bbcache"
+	"repro/internal/isa"
+)
+
+// SetThreadedSource installs the decoded-program source consulted at each
+// Run entry (kimage.Image.Decoded: rebuilds if the text version moved, else
+// returns the cached program). A nil source — the default — keeps the core
+// purely interpretive; tests use that for differential runs.
+func (c *Core) SetThreadedSource(src func() *bbcache.Program) { c.progSrc = src }
+
+// aluTail finishes a non-multiply ALU op: writeback, readiness, taint
+// propagation, commit. Mirrors the interpreter's OpALU epilogue exactly.
+func (c *Core) aluTail(op *isa.DOp, v uint64, startT float64) {
+	done := startT + 1
+	if op.Rd != isa.R0 {
+		c.Regs[op.Rd] = v
+		c.readyAt[op.Rd] = done
+		t1, t2 := c.taintUntil[op.Rs1], c.taintUntil[op.Rs2]
+		if op.Rs1 == isa.R0 {
+			t1 = 0
+		}
+		if op.Rs2 == isa.R0 {
+			t2 = 0
+		}
+		c.taintUntil[op.Rd] = max(t1, t2)
+	}
+	c.commit(done)
+}
+
+// aluTailZ is aluTail for the *Z decode specializations (Rs2 == R0): the
+// Rs2 taint read collapses to zero, leaving only Rs1's masked taint. The
+// propagated values are identical to aluTail's for any Rs2 == R0 encoding.
+func (c *Core) aluTailZ(op *isa.DOp, v uint64, startT float64) {
+	done := startT + 1
+	if op.Rd != isa.R0 {
+		c.Regs[op.Rd] = v
+		c.readyAt[op.Rd] = done
+		t1 := c.taintUntil[op.Rs1]
+		if op.Rs1 == isa.R0 {
+			t1 = 0
+		}
+		c.taintUntil[op.Rd] = t1
+	}
+	c.commit(done)
+}
+
+// runThreaded executes decoded blocks starting at pc until the run ends
+// (returns 0, true), or until it must hand the PC back to the interpreter
+// (returns pc, false): BB-cache miss, undecodable word, or a block that
+// would cross the instruction budget (the interpreter owns truncation so
+// the cutoff lands on exactly the same instruction as before).
+func (c *Core) runThreaded(pc uint64, maxInsts int, fetchSlot float64, res *RunResult, baseDepth int) (uint64, bool) {
+	prog := c.prog
+	c.Stats.BBLookups++
+	blk := prog.BlockAt(pc)
+	if blk == nil {
+		return pc, false
+	}
+	c.Stats.BBHits++
+	execDelay := float64(c.Cfg.ExecDelay)
+	// polUnsafe short-circuits the speculative-transmitter consult when the
+	// policy is the UNSAFE baseline: AllowAll.OnTransmit is stateless and
+	// Cache.Lookup is read-only, so skipping the Access fill + interface
+	// call + L1 probe is invisible to simulated state. Concrete-type check
+	// so any real policy (including one wrapping AllowAll) keeps the full
+	// consult — Perspective fills view caches inside OnTransmit.
+	_, polUnsafe := c.Policy.(AllowAll)
+
+	for {
+		ops := blk.Ops
+		if res.Insts+uint64(len(ops)) > uint64(maxInsts) {
+			return ops[0].PC, false
+		}
+		// Counter batching: the whole block retires or the exit path
+		// reconciles, so the per-op loop touches no Stats fields for the
+		// common kinds.
+		res.Insts += uint64(len(ops))
+		c.Stats.Insts += uint64(len(ops))
+		c.Stats.ThreadedInsts += uint64(len(ops))
+		// Block entry: the previous fetch line is dynamic state, so the
+		// first op always takes the full line check; interior ops use the
+		// decode-time crossing flag.
+		c.fetchTiming(ops[0].PC)
+
+		var (
+			nb       *bbcache.Block
+			npc      uint64
+			haveNext bool
+			stop     bool
+		)
+		for i := range ops {
+			op := &ops[i]
+			if i > 0 && op.LineCross {
+				c.fetchTimingLine(op.PC, op.PC>>6)
+			}
+			c.now += fetchSlot
+
+			switch op.Kind {
+			case isa.DNop:
+				c.commit(c.now)
+
+			case isa.DMov:
+				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				c.aluTail(op, c.reg(op.Rs1), startT)
+
+			case isa.DMovZ:
+				startT := max(c.now, c.ready(op.Rs1))
+				c.aluTailZ(op, c.reg(op.Rs1), startT)
+
+			case isa.DAddImmZ:
+				startT := max(c.now, c.ready(op.Rs1))
+				c.aluTailZ(op, c.reg(op.Rs1)+uint64(op.Imm), startT)
+
+			case isa.DAndImmZ:
+				startT := max(c.now, c.ready(op.Rs1))
+				c.aluTailZ(op, c.reg(op.Rs1)&uint64(op.Imm), startT)
+
+			case isa.DShlImmZ:
+				startT := max(c.now, c.ready(op.Rs1))
+				c.aluTailZ(op, c.reg(op.Rs1)<<(uint64(op.Imm)&63), startT)
+
+			case isa.DShrImmZ:
+				startT := max(c.now, c.ready(op.Rs1))
+				c.aluTailZ(op, c.reg(op.Rs1)>>(uint64(op.Imm)&63), startT)
+
+			case isa.DMovImm:
+				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				done := startT + 1
+				if op.Rd != isa.R0 {
+					c.Regs[op.Rd] = uint64(op.Imm)
+					c.readyAt[op.Rd] = done
+					c.taintUntil[op.Rd] = 0 // immediates clear taint
+				}
+				c.commit(done)
+
+			case isa.DAdd:
+				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				c.aluTail(op, c.reg(op.Rs1)+c.reg(op.Rs2), startT)
+
+			case isa.DAddImm:
+				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				c.aluTail(op, c.reg(op.Rs1)+uint64(op.Imm), startT)
+
+			case isa.DSub:
+				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				c.aluTail(op, c.reg(op.Rs1)-c.reg(op.Rs2), startT)
+
+			case isa.DAnd:
+				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				c.aluTail(op, c.reg(op.Rs1)&c.reg(op.Rs2), startT)
+
+			case isa.DAndImm:
+				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				c.aluTail(op, c.reg(op.Rs1)&uint64(op.Imm), startT)
+
+			case isa.DOr:
+				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				c.aluTail(op, c.reg(op.Rs1)|c.reg(op.Rs2), startT)
+
+			case isa.DXor:
+				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				c.aluTail(op, c.reg(op.Rs1)^c.reg(op.Rs2), startT)
+
+			case isa.DShlImm:
+				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				c.aluTail(op, c.reg(op.Rs1)<<(uint64(op.Imm)&63), startT)
+
+			case isa.DShrImm:
+				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				c.aluTail(op, c.reg(op.Rs1)>>(uint64(op.Imm)&63), startT)
+
+			case isa.DALUGen:
+				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				c.aluTail(op, isa.EvalALU(op.AK, c.reg(op.Rs1), c.reg(op.Rs2), op.Imm), startT)
+
+			case isa.DMul:
+				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				if startT < c.specUntil && !polUnsafe {
+					c.acc = Access{
+						PC: op.PC, IsLoad: false, Ctx: c.ctx, Kernel: c.kernelMode,
+						AddrTainted: c.tainted(op.Rs1, startT) || c.tainted(op.Rs2, startT),
+					}
+					switch c.Policy.OnTransmit(&c.acc) {
+					case Block:
+						c.Stats.Fences++
+						c.Stats.FenceDelay += c.specUntil - startT
+						startT = c.specUntil
+						c.now += c.Cfg.FencePenalty
+					case BlockUntaint:
+						c.Stats.Fences++
+						if u := max(c.taintUntil[op.Rs1], c.taintUntil[op.Rs2]); u > startT {
+							c.Stats.FenceDelay += u - startT
+							startT = u
+						}
+					}
+				}
+				v := c.reg(op.Rs1) * c.reg(op.Rs2)
+				done := startT + float64(c.Cfg.MulLatency)
+				if op.Rd != isa.R0 {
+					c.Regs[op.Rd] = v
+					c.readyAt[op.Rd] = done
+					t1, t2 := c.taintUntil[op.Rs1], c.taintUntil[op.Rs2]
+					if op.Rs1 == isa.R0 {
+						t1 = 0
+					}
+					if op.Rs2 == isa.R0 {
+						t2 = 0
+					}
+					c.taintUntil[op.Rd] = max(t1, t2)
+				}
+				c.commit(done)
+
+			case isa.DLoad:
+				c.Stats.Loads++
+				startT := max(c.now, c.ready(op.Rs1))
+				va := c.reg(op.Rs1) + uint64(op.Imm)
+				pa, okA := c.Mem.Resolve(va, op.Size)
+				if !okA {
+					res.Fault = true
+					res.FaultPC, res.FaultVA = op.PC, va
+					c.Stats.Faults++
+					unretired := uint64(len(ops) - i - 1)
+					res.Insts -= unretired
+					c.Stats.Insts -= unretired
+					c.Stats.ThreadedInsts -= unretired
+					stop = true
+					break
+				}
+				if startT < c.specUntil && !polUnsafe {
+					c.acc = Access{
+						PC: op.PC, VA: va, IsLoad: true, Ctx: c.ctx, Kernel: c.kernelMode,
+						L1Hit:       c.H.L1D.Lookup(pa),
+						AddrTainted: c.tainted(op.Rs1, startT),
+					}
+					switch c.Policy.OnTransmit(&c.acc) {
+					case Block:
+						c.Stats.Fences++
+						c.Stats.FenceDelay += c.specUntil - startT
+						startT = c.specUntil // wait for the visibility point
+						c.now += c.Cfg.FencePenalty
+					case BlockUntaint:
+						c.Stats.Fences++
+						if u := c.taintUntil[op.Rs1]; u > startT {
+							c.Stats.FenceDelay += u - startT
+							startT = u
+						}
+					}
+				}
+				lat, _ := c.H.AccessData(pa, true)
+				v := c.Mem.LoadPA(pa, op.Size)
+				done := startT + float64(lat)
+				if op.Rd != isa.R0 {
+					c.Regs[op.Rd] = v
+					c.readyAt[op.Rd] = done
+					if startT < c.specUntil {
+						c.taintUntil[op.Rd] = c.specUntil
+					} else {
+						c.taintUntil[op.Rd] = 0
+					}
+				}
+				c.commit(done)
+
+			case isa.DStore:
+				c.Stats.Stores++
+				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				va := c.reg(op.Rs1) + uint64(op.Imm)
+				pa, okA := c.Mem.Resolve(va, op.Size)
+				if !okA {
+					res.Fault = true
+					res.FaultPC, res.FaultVA = op.PC, va
+					c.Stats.Faults++
+					unretired := uint64(len(ops) - i - 1)
+					res.Insts -= unretired
+					c.Stats.Insts -= unretired
+					c.Stats.ThreadedInsts -= unretired
+					stop = true
+					break
+				}
+				c.Mem.StorePA(pa, op.Size, c.reg(op.Rs2))
+				c.H.AccessData(pa, true)
+				c.commit(startT + 1)
+
+			case isa.DBranch:
+				c.Stats.Branches++
+				startT := max(c.now+execDelay, c.ready(op.Rs1), c.ready(op.Rs2))
+				resolve := startT + 1
+				taken := isa.EvalCond(op.CK, c.reg(op.Rs1), c.reg(op.Rs2))
+				predicted := c.BP.Cond.Predict(op.PC)
+				c.BP.Cond.Update(op.PC, taken)
+				if c.specUntil < resolve {
+					c.specUntil = resolve
+				}
+				if predicted != taken {
+					c.Stats.Mispredicts++
+					wrong := blk.FallPC
+					if predicted {
+						wrong = op.Target
+					}
+					c.squashWindow(op.PC, wrong, resolve)
+				} else if c.Fault != nil && c.Fault.SpuriousSquash(op.PC) {
+					wrong := op.Target
+					if taken {
+						wrong = blk.FallPC
+					}
+					c.squashWindow(op.PC, wrong, resolve)
+				}
+				c.commit(resolve)
+				if taken {
+					nb, npc = blk.SuccTaken, op.Target
+				} else {
+					nb, npc = blk.SuccFall, blk.FallPC
+				}
+				haveNext = true
+
+			case isa.DJmp:
+				c.commit(c.now)
+				nb, npc, haveNext = blk.Succ, op.Target, true
+
+			case isa.DCall:
+				c.callStack = append(c.callStack, blk.FallPC)
+				c.BP.RAS.Push(blk.FallPC)
+				c.commit(c.now)
+				c.traceEnter(op.Target)
+				nb, npc, haveNext = blk.Succ, op.Target, true
+
+			case isa.DICall, isa.DIJmp:
+				c.Stats.Branches++
+				startT := max(c.now+execDelay, c.ready(op.Rs1))
+				resolve := startT + 1
+				actual := c.reg(op.Rs1)
+				if c.specUntil < resolve {
+					c.specUntil = resolve
+				}
+				if p := c.Policy.IndirectPenalty(); p > 0 && c.kernelMode {
+					c.now = resolve + float64(p)
+				} else {
+					predicted, okP := c.BP.BTB.Predict(op.PC)
+					if okP && predicted != actual {
+						c.Stats.Mispredicts++
+						c.squashWindow(op.PC, predicted, resolve)
+					} else if !okP {
+						c.now = resolve
+					}
+				}
+				c.BP.BTB.Update(op.PC, actual)
+				if op.Kind == isa.DICall {
+					c.callStack = append(c.callStack, blk.FallPC)
+					c.BP.RAS.Push(blk.FallPC)
+					c.traceEnter(actual)
+				}
+				c.commit(resolve)
+				npc, haveNext = actual, true
+
+			case isa.DRet:
+				c.Stats.Branches++
+				if len(c.callStack) == baseDepth {
+					// Entry-frame return: ends the run (see the interpreter
+					// case for the Retbleed window this opens).
+					resolve := c.now + float64(c.Cfg.ExecDelay+c.H.L1Lat)
+					if c.specUntil < resolve {
+						c.specUntil = resolve
+					}
+					if predicted, okP := c.BP.RAS.Pop(); okP && predicted != 0 {
+						c.Stats.Mispredicts++
+						c.squashWindow(op.PC, predicted, resolve)
+					}
+					c.commit(resolve)
+					res.Ret = c.reg(isa.R1)
+					stop = true
+					break
+				}
+				actual := c.callStack[len(c.callStack)-1]
+				c.callStack = c.callStack[:len(c.callStack)-1]
+				resolve := c.now + float64(c.Cfg.ExecDelay+c.H.L1Lat)
+				if c.specUntil < resolve {
+					c.specUntil = resolve
+				}
+				predicted, okP := c.BP.RAS.Pop()
+				if okP && predicted != actual {
+					c.Stats.Mispredicts++
+					c.squashWindow(op.PC, predicted, resolve)
+				} else if !okP {
+					c.now = resolve
+				}
+				c.commit(resolve)
+				npc, haveNext = actual, true
+
+			case isa.DFence:
+				c.now = max(c.now, c.specUntil, c.lastCommit)
+				c.commit(c.now)
+
+			case isa.DHalt:
+				c.commit(c.now)
+				res.Ret = c.reg(isa.R1)
+				stop = true
+			}
+
+			if c.stepHook != nil {
+				c.stepHook(op.PC)
+			}
+			if stop {
+				return 0, true
+			}
+		}
+
+		if !haveNext {
+			// Straight-line run ended at a text gap or an undecodable
+			// word: the interpreter decides what happens at the next PC.
+			return ops[len(ops)-1].PC + isa.InstBytes, false
+		}
+		if nb == nil {
+			c.Stats.BBLookups++
+			if nb = prog.BlockAt(npc); nb == nil {
+				return npc, false
+			}
+			c.Stats.BBHits++
+		} else {
+			c.Stats.BBChains++
+		}
+		blk = nb
+	}
+}

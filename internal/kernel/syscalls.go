@@ -329,9 +329,7 @@ func (k *Kernel) doRead(t *Task, f *File, buf, n uint64) (uint64, ctxMarshal, er
 		srcVA := f.dataVA + f.offset
 		pa, _ := memsim.DirectMapPA(srcVA, k.Phys.Bytes())
 		data := make([]byte, avail)
-		for i := range data {
-			data[i] = k.Phys.Read8(pa + uint64(i))
-		}
+		k.Phys.CopyOut(pa, data)
 		if err := k.CopyToUser(t, buf, data); err != nil {
 			return 0, m, err
 		}
@@ -362,9 +360,7 @@ func (k *Kernel) doWrite(t *Task, f *File, buf, n uint64) (uint64, ctxMarshal, e
 		}
 		dstVA := f.dataVA + f.offset
 		pa, _ := memsim.DirectMapPA(dstVA, k.Phys.Bytes())
-		for i, b := range data {
-			k.Phys.Write8(pa+uint64(i), b)
-		}
+		k.Phys.CopyIn(pa, data)
 		f.offset += n
 		if f.offset > f.size {
 			f.size = f.offset

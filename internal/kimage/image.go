@@ -96,6 +96,12 @@ type Image struct {
 	nInsts  int
 	starts  []uint64 // sorted function start VAs, parallel to startFn
 	startFn []*Func
+
+	// version counts text mutations (PatchInst/SetInstValid); decoded
+	// memoizes the pre-decoded program for the matching version. See
+	// decoded.go for the invalidation protocol.
+	version uint64
+	decoded decodedPtr
 }
 
 const funcAlign = 64 // function starts are cache-line aligned

@@ -51,8 +51,17 @@ var readAccessors = map[string]map[string]bool{
 // directly, as "pkg.Type.Func" (receiver pointer stripped). It is
 // deliberately tiny: everything else must route through these.
 var Blessed = map[string]bool{
-	"cpu.Core.Run":      true,
-	"cpu.Core.specLoad": true,
+	"cpu.Core.Run": true,
+	// stepInterp is Run's extracted per-instruction body (the interpretive
+	// engine); Run now only alternates it with the threaded engine.
+	"cpu.Core.stepInterp": true,
+	// runThreaded is the decoded-stream engine's committed-path executor.
+	// Its loads run the same DSV/ISV policy consult as stepInterp's and it
+	// never executes inside a transient window (the dispatcher falls back
+	// to the interpreter there), so its direct read carries the identical
+	// check obligations as Run's — enforced by the lockstep oracle.
+	"cpu.Core.runThreaded": true,
+	"cpu.Core.specLoad":    true,
 	// The obs hook reads the just-allowed load's value for the trace's
 	// undigested annotation; specLoad has already run the policy check by
 	// the time it is called.

@@ -18,6 +18,18 @@ func (c *Core) specLoad(pa uint64) uint64 {
 	return c.Mem.Phys.Read64(pa)
 }
 
+// stepInterp is blessed (Run's extracted interpretive engine).
+func (c *Core) stepInterp(pa uint64) uint64 {
+	return c.Mem.LoadPA(pa, 8)
+}
+
+// runThreaded is blessed (the decoded-stream engine's committed-path
+// executor, policy-checked like stepInterp and interpreter-backed inside
+// transient windows).
+func (c *Core) runThreaded(pa uint64) uint64 {
+	return c.Mem.LoadPA(pa, 8)
+}
+
 // runTransient models a new speculation feature bypassing the check API.
 func (c *Core) runTransient(pa uint64) uint64 {
 	if pa2, ok := c.Mem.Resolve(pa, 8); ok { // translation is not gated
