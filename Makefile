@@ -5,11 +5,12 @@ GO ?= go
 # drops combined coverage below this.
 COVER_MIN ?= 70
 
-.PHONY: build test vet race fuzzseed lint cover check bench benchsmoke benchdiff benchdiffsmoke relsecsmoke lockstepsmoke clean
+.PHONY: build test vet race fuzzseed lint cover check bench benchsmoke benchdiff benchdiffsmoke relsecsmoke lockstepsmoke taillatsmoke clean
 
 # Packages carrying the host-perf microbenchmarks (cache access, vmm
-# translate, cpu issue loop, kernel syscall round-trip).
-BENCH_PKGS = ./internal/cache/ ./internal/vmm/ ./internal/cpu/ ./internal/kernel/
+# translate, cpu issue loop, kernel syscall round-trip, app drive path,
+# open-loop replay + digest).
+BENCH_PKGS = ./internal/cache/ ./internal/vmm/ ./internal/cpu/ ./internal/kernel/ ./internal/apps/ ./internal/loadgen/
 
 build:
 	$(GO) build ./...
@@ -26,7 +27,7 @@ race:
 # fuzzseed replays the checked-in fuzz seed corpus as regular tests
 # (no -fuzz: that would explore; CI only replays known inputs).
 fuzzseed:
-	$(GO) test -run=Fuzz ./internal/kernel/ ./internal/cpu/
+	$(GO) test -run=Fuzz ./internal/kernel/ ./internal/cpu/ ./internal/loadgen/
 
 # lint runs the project's own go/analysis suite (determinism, errwrap,
 # specgate — see DESIGN.md §8). Exit 1 means an unannotated finding;
@@ -45,8 +46,8 @@ cover:
 # + fuzz seed corpus + a one-iteration benchmark smoke run (guards the
 # bench layer against bit-rot without paying for real measurement) + a
 # deterministic benchmark-coverage diff against the committed perf
-# trajectory + an end-to-end relative-security smoke.
-check: vet lint race fuzzseed lockstepsmoke benchsmoke benchdiffsmoke relsecsmoke
+# trajectory + end-to-end relative-security and tail-latency smokes.
+check: vet lint race fuzzseed lockstepsmoke benchsmoke benchdiffsmoke relsecsmoke taillatsmoke
 
 # lockstepsmoke runs the bounded threaded-vs-interpreted differential
 # oracle at machine level: one scheme, a LEBench slice, one census gadget,
@@ -64,6 +65,16 @@ relsecsmoke:
 	@grep -q 'leaks' /tmp/relsec.out
 	@rm -f /tmp/relsec.out
 	@echo relsecsmoke: ok
+
+# taillatsmoke runs the open-loop fleet experiment end-to-end through the
+# CLI at a reduced request budget and asserts the paired-baseline invariant:
+# every UNSAFE row reports overhead exactly 1.00, and no cell fails.
+taillatsmoke:
+	$(GO) run ./cmd/perspective-sim -exp taillats -requests 50000 > /tmp/taillats.out
+	@grep -c '^[a-z].*UNSAFE .*1\.00    1\.00    1\.00$$' /tmp/taillats.out | grep -qx 4
+	@! grep -q '!!' /tmp/taillats.out
+	@rm -f /tmp/taillats.out
+	@echo taillatsmoke: ok
 
 # bench produces BENCH_hostperf.json: micro ns/op per hot function plus an
 # end-to-end `-exp all` cells/sec and simulated-MIPS measurement.

@@ -36,17 +36,19 @@ import (
 	"repro/internal/harness"
 	"repro/internal/kernel"
 	"repro/internal/kimage"
+	"repro/internal/schemes"
 )
 
 // Report is the BENCH_hostperf.json schema. Additive changes only: perf
 // dashboards and regression checks key on these names.
 type Report struct {
-	Schema    int       `json:"schema"`
-	GoVersion string    `json:"go_version"`
-	Benchtime string    `json:"benchtime"`
-	Micro     []Micro   `json:"micro"`
-	EndToEnd  *EndToEnd `json:"end_to_end,omitempty"`
-	SimProbe  *SimProbe `json:"sim_probe,omitempty"`
+	Schema    int            `json:"schema"`
+	GoVersion string         `json:"go_version"`
+	Benchtime string         `json:"benchtime"`
+	Micro     []Micro        `json:"micro"`
+	EndToEnd  *EndToEnd      `json:"end_to_end,omitempty"`
+	SimProbe  *SimProbe      `json:"sim_probe,omitempty"`
+	Taillats  *TaillatsProbe `json:"taillats_probe,omitempty"`
 }
 
 // Micro is one Go benchmark result.
@@ -79,8 +81,18 @@ type SimProbe struct {
 	BBHitRate     float64 `json:"bb_hit_rate"`
 }
 
+// TaillatsProbe times a fixed UNSAFE open-loop fleet run (calibration probes
+// plus a 10⁵-request replay per app), reporting replayed requests per host
+// second — the taillats engine's figure of merit.
+type TaillatsProbe struct {
+	Requests    uint64  `json:"requests"`
+	WallSeconds float64 `json:"wall_seconds"`
+	ReqPerSec   float64 `json:"req_per_sec"`
+}
+
 var benchPkgs = []string{
 	"./internal/cache/", "./internal/vmm/", "./internal/cpu/", "./internal/kernel/",
+	"./internal/apps/", "./internal/loadgen/",
 }
 
 func main() {
@@ -126,6 +138,11 @@ func main() {
 		}
 		rep.EndToEnd = e2e
 		rep.SimProbe = probe
+		tl, err := bestTaillatsProbe()
+		if err != nil {
+			fatal(err)
+		}
+		rep.Taillats = tl
 	}
 
 	b, err := json.MarshalIndent(rep, "", "  ")
@@ -145,6 +162,9 @@ func main() {
 		fmt.Printf(", %.2f cells/sec, %.2f sim MIPS (threaded share %.0f%%, bb hit rate %.1f%%)",
 			rep.EndToEnd.CellsPerSec, rep.SimProbe.SimMIPS,
 			100*rep.SimProbe.ThreadedShare, 100*rep.SimProbe.BBHitRate)
+	}
+	if rep.Taillats != nil {
+		fmt.Printf(", %.1fM replayed req/sec", rep.Taillats.ReqPerSec/1e6)
 	}
 	fmt.Println()
 }
@@ -201,6 +221,23 @@ func runDiff(path, benchtime string, namesOnly bool) error {
 	if namesOnly {
 		fmt.Printf("benchdiff: %d committed benchmark(s), %d present\n",
 			len(base.Micro), len(base.Micro)-len(missing))
+	}
+	// The committed taillats probe rides the same gate: the replay engine's
+	// throughput is a first-class perf deliverable, and a structural
+	// slowdown there won't show up in any micro benchmark's ns/op.
+	if !namesOnly && base.Taillats != nil && base.Taillats.ReqPerSec > 0 {
+		f, err := bestTaillatsProbe()
+		if err != nil {
+			return err
+		}
+		ratio := base.Taillats.ReqPerSec / f.ReqPerSec
+		status := "ok"
+		if ratio > regressionTolerance {
+			status = "REGRESSED"
+			regressed = append(regressed, "taillats_probe")
+		}
+		fmt.Printf("%-55s %12.2f -> %12.2f Mreq/s %+6.1f%%  %s\n",
+			"taillats_probe", base.Taillats.ReqPerSec/1e6, f.ReqPerSec/1e6, 100*(ratio-1), status)
 	}
 	if len(missing) > 0 {
 		return fmt.Errorf("%d committed benchmark(s) missing from fresh run: %v", len(missing), missing)
@@ -349,6 +386,48 @@ func simProbe() (*SimProbe, error) {
 		}
 	}
 	return sp, nil
+}
+
+// taillatsProbe runs the UNSAFE slice of the open-loop fleet experiment at a
+// fixed 10⁵-request cell size and reports replay throughput. One scheme only:
+// this measures the engine (probe drive path + Lindley replay + digest), not
+// the defenses.
+func taillatsProbe() (*TaillatsProbe, error) {
+	opt := harness.QuickOptions()
+	opt.Schemes = []schemes.Kind{schemes.Unsafe}
+	opt.TailRequests = 100_000
+	opt.Jobs = 1
+	h := harness.New(opt)
+	start := time.Now()
+	rep, err := h.TailLats()
+	if err != nil {
+		return nil, fmt.Errorf("taillats probe: %w", err)
+	}
+	wall := time.Since(start).Seconds()
+	var reqs uint64
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			return nil, fmt.Errorf("taillats probe: %v/%s: %s", c.Scheme, c.App, c.Err)
+		}
+		reqs += c.Requests
+	}
+	return &TaillatsProbe{Requests: reqs, WallSeconds: wall, ReqPerSec: float64(reqs) / wall}, nil
+}
+
+// bestTaillatsProbe takes the fastest of e2eRepeats probe passes, the same
+// noise-robust estimator the other wall-clock measurements use.
+func bestTaillatsProbe() (*TaillatsProbe, error) {
+	var best *TaillatsProbe
+	for i := 0; i < e2eRepeats; i++ {
+		p, err := taillatsProbe()
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || p.WallSeconds < best.WallSeconds {
+			best = p
+		}
+	}
+	return best, nil
 }
 
 func fatal(err error) {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/loadgen"
 )
 
 func main() {
@@ -50,7 +51,9 @@ func run() error {
 	exp := flag.String("exp", "all", "experiment to run (see -list)")
 	scale := flag.String("scale", "quick", "quick (fast, small kernel) or paper (28K-function kernel)")
 	iters := flag.Int("iters", 0, "override LEBench iterations per test")
-	requests := flag.Int("requests", 0, "override datacenter-app request count")
+	requests := flag.Int("requests", 0, "override datacenter-app request count (closed-loop serves and taillats open-loop replays)")
+	fleet := flag.Int("fleet", 0, "override taillats machines per (app, scheme) cell")
+	arrival := flag.String("arrival", "poisson", "taillats arrival law: poisson or fixed")
 	seed := flag.Int64("seed", 1, "seed for scanner campaigns and fault injection")
 	jobs := flag.Int("jobs", 0, "cell-level worker pool size (0 = one per core); output is byte-identical at any value")
 	cellTimeout := flag.Duration("cell-timeout", time.Duration(0), "per-cell deadline within an experiment (0 = none)")
@@ -110,7 +113,16 @@ func run() error {
 	}
 	if *requests > 0 {
 		opt.AppRequests = *requests
+		opt.TailRequests = *requests
 	}
+	if *fleet > 0 {
+		opt.TailFleet = *fleet
+	}
+	kind, err := loadgen.ParseArrival(*arrival)
+	if err != nil {
+		return err
+	}
+	opt.TailArrival = kind
 	opt.Seed = *seed
 	opt.Timeout = *timeout
 	opt.Jobs = *jobs

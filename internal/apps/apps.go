@@ -65,6 +65,7 @@ type Conn struct {
 	Server, Client *kernel.Task
 
 	cliSock, srvSock uint64
+	lfd              uint64
 	epfd             uint64
 	fileFD           uint64
 	cliBuf, srvBuf   uint64
@@ -74,6 +75,10 @@ type Conn struct {
 // own containers, a connected loopback socket registered with the server's
 // epoll instance, and (for file-serving apps) a warm page-cache file.
 func Dial(a App, k *kernel.Kernel) (*Conn, error) {
+	return dial(a, k, false)
+}
+
+func dial(a App, k *kernel.Kernel, fleet bool) (*Conn, error) {
 	server, err := k.CreateProcess(a.Name + "-server")
 	if err != nil {
 		return nil, err
@@ -82,14 +87,22 @@ func Dial(a App, k *kernel.Kernel) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	if fleet {
+		// Fleet connections churn: recycle descriptors so the one-page
+		// fd-table mirror stays bounded over millions of connect/close
+		// cycles. Reuse only changes numbering after a close, so the
+		// initial dial below is identical either way.
+		k.EnableFDReuse(server)
+		k.EnableFDReuse(client)
+	}
 	c := &Conn{App: a, K: k, Server: server, Client: client}
 
-	lfd, err := k.Syscall(server, kimage.NRSocket)
+	c.lfd, err = k.Syscall(server, kimage.NRSocket)
 	if err != nil {
 		return nil, err
 	}
-	k.Syscall(server, kimage.NRBind, lfd, 80)
-	k.Syscall(server, kimage.NRListen, lfd)
+	k.Syscall(server, kimage.NRBind, c.lfd, 80)
+	k.Syscall(server, kimage.NRListen, c.lfd)
 
 	c.cliSock, err = k.Syscall(client, kimage.NRSocket)
 	if err != nil {
@@ -98,7 +111,7 @@ func Dial(a App, k *kernel.Kernel) (*Conn, error) {
 	if _, err := k.Syscall(client, kimage.NRConnect, c.cliSock, 80); err != nil {
 		return nil, err
 	}
-	c.srvSock, err = k.Syscall(server, kimage.NRAccept, lfd)
+	c.srvSock, err = k.Syscall(server, kimage.NRAccept, c.lfd)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/kimage"
+)
+
+// FleetConn is a Conn with the per-request drive hooks the open-loop
+// traffic engine needs: each request's kernel path cost is observable
+// individually (not only as a closed-loop aggregate), and the connection
+// can be churned — torn down and re-dialed — to measure the kernel cost of
+// the accept/epoll re-registration path under each scheme. Fleet
+// connections run with descriptor reuse enabled so churn does not grow the
+// fd table without bound.
+type FleetConn struct {
+	*Conn
+}
+
+// DialFleet boots the app for fleet driving. The resulting connection is
+// identical to Dial's (same descriptor numbering, same kernel state) until
+// the first Reconnect.
+func DialFleet(a App, k *kernel.Kernel) (*FleetConn, error) {
+	c, err := dial(a, k, true)
+	if err != nil {
+		return nil, err
+	}
+	return &FleetConn{Conn: c}, nil
+}
+
+// ServeOne drives one keep-alive request and returns the simulated cycles
+// its kernel path consumed — the keep-alive stratum of the service-time
+// reservoir. The request loop is allocation-free once warm.
+func (c *FleetConn) ServeOne() (cycles float64, err error) {
+	start := c.K.Core.Now()
+	if err := c.Request(); err != nil {
+		return 0, err
+	}
+	return c.K.Core.Now() - start, nil
+}
+
+// Reconnect models connection churn: the served socket is dropped from the
+// server's epoll interest set (closeFD alone would leave the scan walking a
+// freed file struct), both ends are closed, and a fresh client socket
+// connects, is accepted, and re-registers with epoll — the full kernel
+// setup path a non-keep-alive request pays.
+func (c *FleetConn) Reconnect() error {
+	k := c.K
+	if _, err := k.Syscall(c.Server, kimage.NREpollCtl, c.epfd, c.srvSock, 1); err != nil {
+		return fmt.Errorf("%s epoll del: %w", c.App.Name, err)
+	}
+	if _, err := k.Syscall(c.Server, kimage.NRClose, c.srvSock); err != nil {
+		return fmt.Errorf("%s server close: %w", c.App.Name, err)
+	}
+	if _, err := k.Syscall(c.Client, kimage.NRClose, c.cliSock); err != nil {
+		return fmt.Errorf("%s client close: %w", c.App.Name, err)
+	}
+	var err error
+	if c.cliSock, err = k.Syscall(c.Client, kimage.NRSocket); err != nil {
+		return err
+	}
+	if _, err = k.Syscall(c.Client, kimage.NRConnect, c.cliSock, 80); err != nil {
+		return fmt.Errorf("%s reconnect: %w", c.App.Name, err)
+	}
+	if c.srvSock, err = k.Syscall(c.Server, kimage.NRAccept, c.lfd); err != nil {
+		return fmt.Errorf("%s re-accept: %w", c.App.Name, err)
+	}
+	if _, err = k.Syscall(c.Server, kimage.NREpollCtl, c.epfd, c.srvSock); err != nil {
+		return fmt.Errorf("%s epoll re-add: %w", c.App.Name, err)
+	}
+	return nil
+}
+
+// ServeChurn re-establishes the connection and serves one request on it,
+// returning the combined kernel cost — the churn stratum of the reservoir.
+func (c *FleetConn) ServeChurn() (cycles float64, err error) {
+	start := c.K.Core.Now()
+	if err := c.Reconnect(); err != nil {
+		return 0, err
+	}
+	if err := c.Request(); err != nil {
+		return 0, err
+	}
+	return c.K.Core.Now() - start, nil
+}

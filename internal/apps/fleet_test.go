@@ -1,0 +1,173 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func dialFleet(t testing.TB, name string) *FleetConn {
+	t.Helper()
+	k, err := kernel.New(kernel.DefaultConfig(), testImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ByName(name)
+	c, err := DialFleet(a, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFleetServeOne(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			c := dialFleet(t, a.Name)
+			for i := 0; i < 5; i++ {
+				cyc, err := c.ServeOne()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cyc <= 0 {
+					t.Fatalf("request %d cost %f cycles", i, cyc)
+				}
+			}
+			if c.K.Stats.HandlerFaults != 0 {
+				t.Errorf("handler faults = %d", c.K.Stats.HandlerFaults)
+			}
+		})
+	}
+}
+
+// Churned connections must keep serving, cost more than keep-alive requests
+// (they pay the socket/accept/epoll setup path), and hold the descriptor
+// space bounded thanks to fd reuse.
+func TestFleetChurn(t *testing.T) {
+	c := dialFleet(t, "memcached")
+	// Warm the machine first: the first post-boot requests pay cold-cache
+	// costs that would inflate the keep-alive baseline.
+	for i := 0; i < 5; i++ {
+		if _, err := c.ServeOne(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep, err := c.ServeOne()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		churn, err := c.ServeChurn()
+		if err != nil {
+			t.Fatalf("churn %d: %v", i, err)
+		}
+		if churn <= keep {
+			t.Fatalf("churn %d cost %f ≤ keep-alive cost %f", i, churn, keep)
+		}
+	}
+	if nf := c.Server.NextFD(); nf > 16 {
+		t.Fatalf("server descriptor space grew to %d under churn", nf)
+	}
+	if nf := c.Client.NextFD(); nf > 16 {
+		t.Fatalf("client descriptor space grew to %d under churn", nf)
+	}
+	// The connection still works after sustained churn.
+	if _, err := c.ServeOne(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Same machine config and drive sequence → identical per-request costs;
+// the reservoir measurements the taillats replay is built on depend on it.
+func TestFleetCostDeterminism(t *testing.T) {
+	run := func() []float64 {
+		c := dialFleet(t, "httpd")
+		var costs []float64
+		for i := 0; i < 20; i++ {
+			var cyc float64
+			var err error
+			if i%5 == 4 {
+				cyc, err = c.ServeChurn()
+			} else {
+				cyc, err = c.ServeOne()
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			costs = append(costs, cyc)
+		}
+		return costs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d cost diverged: %f vs %f", i, a[i], b[i])
+		}
+	}
+}
+
+// The keep-alive drive path must be allocation-free once warm: the fleet
+// replays it 10⁵+ times per probe shard and GC pressure would swamp the
+// measurement. Warmup runs first so lazy per-block decode in the threaded
+// engine doesn't count against the steady state.
+func TestAppRequestNoAlloc(t *testing.T) {
+	for _, name := range []string{"httpd", "nginx", "memcached", "redis"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c := dialFleet(t, name)
+			for i := 0; i < 10; i++ {
+				if err := c.Request(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				if err := c.Request(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("drive path allocates %.1f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkAppRequest measures the steady-state keep-alive drive path (the
+// taillats probe hot loop). The accompanying alloc test pins 0 allocs/op.
+func BenchmarkAppRequest(b *testing.B) {
+	for _, name := range []string{"httpd", "memcached"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			c := dialFleet(b, name)
+			for i := 0; i < 10; i++ {
+				if err := c.Request(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Request(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAppChurn measures the connection-churn path (teardown + fresh
+// dial + request).
+func BenchmarkAppChurn(b *testing.B) {
+	c := dialFleet(b, "memcached")
+	if _, err := c.ServeOne(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ServeChurn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

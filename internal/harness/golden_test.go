@@ -80,6 +80,31 @@ func TestGoldenPrintFig93(t *testing.T) {
 	checkGolden(t, "fig93", buf.Bytes())
 }
 
+func TestGoldenPrintTailLats(t *testing.T) {
+	rep := &TailReport{
+		Fleet:    4,
+		Requests: 1_000_000,
+		Rho:      0.35,
+		Cells: []TailCell{
+			{App: "httpd", Scheme: schemes.Unsafe, P50: 1800, P99: 8200, P999: 11500,
+				P50X: 1, P99X: 1, P999X: 1},
+			{App: "httpd", Scheme: schemes.DOM, P50: 1900, P99: 9000, P999: 13100,
+				P50X: 1.06, P99X: 1.10, P999X: 1.14},
+			{App: "httpd", Scheme: schemes.Perspective, P50: 1850, P99: 8500, P999: 12000,
+				P50X: 1.03, P99X: 1.04, P999X: 1.04},
+			{App: "redis", Scheme: schemes.Unsafe, P50: 1500, P99: 7000, P999: 9800,
+				P50X: 1, P99X: 1, P999X: 1},
+			{App: "redis", Scheme: schemes.DOM, P50: 1700, P99: 8900, P999: 14800,
+				P50X: 1.13, P99X: 1.27, P999X: 1.51, HandlerFaults: 3},
+			{App: "redis", Scheme: schemes.Perspective,
+				Err: "UNSAFE calibration failed for redis: probe 7: machine wedged"},
+		},
+	}
+	var buf bytes.Buffer
+	PrintTailLats(&buf, rep, goldenKinds())
+	checkGolden(t, "taillats", buf.Bytes())
+}
+
 func TestGoldenPrintTable81(t *testing.T) {
 	rows := []SurfaceRow{
 		{Workload: "LEBench", StaticPct: 62.4, DynamicPct: 91.3, StaticFuncs: 451, DynFuncs: 104},

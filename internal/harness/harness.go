@@ -18,6 +18,7 @@ import (
 	"repro/internal/kimage"
 	"repro/internal/ktrace"
 	"repro/internal/lebench"
+	"repro/internal/loadgen"
 	"repro/internal/scanner"
 	"repro/internal/schemes"
 	"repro/internal/sec"
@@ -48,6 +49,18 @@ type Options struct {
 	// CellTimeout bounds each individual (scheme, workload) cell; zero
 	// means no per-cell deadline.
 	CellTimeout time.Duration
+
+	// TailRequests is the replayed open-loop request count per (app,
+	// scheme) cell in -exp taillats; 0 means the 10⁶ default.
+	TailRequests int
+	// TailFleet is the cloned machines (stream shards) per taillats cell;
+	// 0 means 4.
+	TailFleet int
+	// TailProbes is the fully-simulated probe requests per shard machine
+	// that fill the service-time reservoir; 0 means 128.
+	TailProbes int
+	// TailArrival selects the open-loop arrival law (Poisson default).
+	TailArrival loadgen.ArrivalKind
 }
 
 // QuickOptions runs everything at unit-test scale in a few seconds.
@@ -125,6 +138,10 @@ type Harness struct {
 	// cells instead of re-simulating ~1/3 of the full-run wall time.
 	fig92Memo gridOnce[LEBenchCell]
 	fig93Memo gridOnce[AppCell]
+
+	// taillats memo (see taillats.go): the fleet grid is likewise a pure
+	// function of the options.
+	tailMemo
 }
 
 // gridOnce memoizes one deterministic experiment grid (cells + aggregate

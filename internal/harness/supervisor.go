@@ -84,6 +84,14 @@ func Experiments() []Experiment {
 				}
 				return err
 			}},
+		{"taillats", "open-loop fleet tail-latency overhead per scheme",
+			func(h *Harness, w io.Writer) error {
+				rep, err := h.TailLats()
+				if rep != nil {
+					PrintTailLats(w, rep, h.Opt.Schemes)
+				}
+				return err
+			}},
 		{"hw-compare", "§9.1 scheme summary",
 			func(h *Harness, w io.Writer) error {
 				le, err1 := h.Fig92()
@@ -182,8 +190,9 @@ type checkpoint struct {
 
 // fingerprint identifies the option set for checkpoint compatibility.
 func fingerprint(o Options) string {
-	return fmt.Sprintf("spec=%d/%d iters=%d reqs=%d schemes=%v seed=%d",
-		o.Spec.Seed, o.Spec.NumSyscalls, o.LEBenchIters, o.AppRequests, o.Schemes, o.Seed)
+	return fmt.Sprintf("spec=%d/%d iters=%d reqs=%d schemes=%v seed=%d tail=%d/%d/%d/%v",
+		o.Spec.Seed, o.Spec.NumSyscalls, o.LEBenchIters, o.AppRequests, o.Schemes, o.Seed,
+		o.tailRequests(), o.tailFleet(), o.tailProbes(), o.TailArrival)
 }
 
 func loadCheckpoint(path, fp string) map[string]ExpResult {

@@ -1,0 +1,126 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/kimage"
+)
+
+// By default descriptor allocation is monotone (byte-stable experiment
+// outputs depend on it).
+func TestFDAllocMonotoneByDefault(t *testing.T) {
+	k := newKernel(t)
+	p := mustProc(t, k, "web")
+	fd1, _ := k.Syscall(p, kimage.NROpen, 0)
+	if _, err := k.Syscall(p, kimage.NRClose, fd1); err != nil {
+		t.Fatal(err)
+	}
+	fd2, _ := k.Syscall(p, kimage.NROpen, 0)
+	if fd2 != fd1+1 {
+		t.Fatalf("default alloc reused fd: got %d after closing %d", fd2, fd1)
+	}
+}
+
+// With reuse enabled, the lowest closed descriptor comes back first.
+func TestFDReuseLowestFree(t *testing.T) {
+	k := newKernel(t)
+	p := mustProc(t, k, "web")
+	k.EnableFDReuse(p)
+	var fds []uint64
+	for i := 0; i < 4; i++ {
+		fd, err := k.Syscall(p, kimage.NROpen, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fds = append(fds, fd)
+	}
+	// Close out of order; reopen must hand back ascending lowest-first.
+	for _, i := range []int{2, 0, 3} {
+		if _, err := k.Syscall(p, kimage.NRClose, fds[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []uint64{fds[0], fds[2], fds[3]}
+	for _, w := range want {
+		fd, err := k.Syscall(p, kimage.NROpen, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fd != w {
+			t.Fatalf("reuse order: got fd %d, want %d", fd, w)
+		}
+	}
+}
+
+// Under open/close churn the descriptor space must stay bounded — this is
+// what keeps the one-page fd-table mirror valid through millions of
+// connection-churn cycles in the taillats fleet.
+func TestFDReuseBoundsTableUnderChurn(t *testing.T) {
+	k := newKernel(t)
+	p := mustProc(t, k, "web")
+	k.EnableFDReuse(p)
+	for i := 0; i < 2000; i++ {
+		fd, err := k.Syscall(p, kimage.NROpen, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Syscall(p, kimage.NRClose, fd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.nextFD > 8 {
+		t.Fatalf("nextFD grew to %d under churn with reuse enabled", p.nextFD)
+	}
+}
+
+// EPOLL_CTL_DEL (third syscall arg non-zero) removes a file from the
+// interest set so churned connections stop being scanned.
+func TestEpollCtlDel(t *testing.T) {
+	k := newKernel(t)
+	p := mustProc(t, k, "web")
+	epfd, err := k.Syscall(p, kimage.NREpollCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkReadable := func() uint64 {
+		fd, err := k.Syscall(p, kimage.NROpen, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _ := k.FileByFD(p, int(fd))
+		k.WriteFileData(f, []byte("x"))
+		return fd
+	}
+	a, b := mkReadable(), mkReadable()
+	for _, fd := range []uint64{a, b} {
+		if _, err := k.Syscall(p, kimage.NREpollCtl, epfd, fd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := k.EpollWait(p, int(epfd)); err != nil || n != 2 {
+		t.Fatalf("EpollWait before DEL = %d, %v; want 2", n, err)
+	}
+	if _, err := k.Syscall(p, kimage.NREpollCtl, epfd, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := k.EpollWait(p, int(epfd)); err != nil || n != 1 {
+		t.Fatalf("EpollWait after DEL = %d, %v; want 1", n, err)
+	}
+	// Deleting an absent member is a no-op, not an error.
+	if _, err := k.Syscall(p, kimage.NREpollCtl, epfd, a, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertFDSortedDescending(t *testing.T) {
+	var fds []int
+	for _, fd := range []int{5, 1, 9, 3, 7} {
+		fds = insertFDSorted(fds, fd)
+	}
+	want := []int{9, 7, 5, 3, 1}
+	for i, w := range want {
+		if fds[i] != w {
+			t.Fatalf("free list %v, want %v", fds, want)
+		}
+	}
+}

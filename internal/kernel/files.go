@@ -3,6 +3,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/kimage"
 	"repro/internal/memsim"
@@ -124,14 +125,40 @@ func (k *Kernel) marshalFile(f *File) {
 }
 
 // installFD binds a file to the next descriptor and mirrors it in the
-// fd-table page for the ISA fdget path.
+// fd-table page for the ISA fdget path. Tasks with FD reuse enabled
+// (connection-churn drivers) recycle the lowest closed descriptor first —
+// POSIX lowest-free semantics — so the fd-table page stays bounded under
+// millions of connect/close cycles instead of marching past its one-page
+// mirror.
 func (k *Kernel) installFD(t *Task, f *File) int {
-	fd := t.nextFD
-	t.nextFD++
+	var fd int
+	if n := len(t.freeFDs); n > 0 {
+		fd = t.freeFDs[n-1]
+		t.freeFDs = t.freeFDs[:n-1]
+	} else {
+		fd = t.nextFD
+		t.nextFD++
+	}
 	t.files[fd] = f
 	k.writeKernel(t.fdtVA()+kimage.FDTArrayOff+uint64(8*fd), f.StructVA())
 	return fd
 }
+
+// insertFDSorted keeps the free list descending so installFD pops the
+// lowest free descriptor from the tail in O(1).
+func insertFDSorted(fds []int, fd int) []int {
+	i := sort.Search(len(fds), func(i int) bool { return fds[i] < fd })
+	fds = append(fds, 0)
+	copy(fds[i+1:], fds[i:])
+	fds[i] = fd
+	return fds
+}
+
+// EnableFDReuse switches the task to POSIX lowest-free descriptor
+// allocation. Off by default: the monotone allocator keeps long-standing
+// experiment outputs byte-stable, so only connection-churn drivers (the
+// taillats fleet) opt in.
+func (k *Kernel) EnableFDReuse(t *Task) { t.reuseFDs = true }
 
 func (k *Kernel) lookupFD(t *Task, fd int) (*File, error) {
 	f, ok := t.files[fd]
@@ -150,6 +177,9 @@ func (k *Kernel) closeFD(t *Task, fd int) error {
 	}
 	delete(t.files, fd)
 	k.writeKernel(t.fdtVA()+kimage.FDTArrayOff+uint64(8*fd), 0)
+	if t.reuseFDs {
+		t.freeFDs = insertFDSorted(t.freeFDs, fd)
+	}
 	f.refs--
 	if f.refs > 0 {
 		return nil
@@ -187,7 +217,7 @@ func (k *Kernel) ringRead(f *File, n int) []byte {
 		avail = uint64(n)
 	}
 	pa, _ := memsim.DirectMapPA(f.dataVA, k.Phys.Bytes())
-	out := make([]byte, avail)
+	out := k.xfer(avail)
 	for i := uint64(0); i < avail; i++ {
 		out[i] = k.Phys.Read8(pa + (f.tail+i)%ringCap)
 	}

@@ -113,6 +113,15 @@ type Kernel struct {
 	futexWaits map[uint64][]*Task
 	listeners  map[uint64]listener // port -> listening socket
 
+	// Reusable scratch for the syscall hot path (read/write/send/recv data
+	// staging and poll-scan file-pointer collection): the open-loop traffic
+	// engine drives 10⁶+ requests per cell, so these paths must not allocate
+	// per call. A Kernel is single-threaded by construction and snapshot
+	// clones are built as fresh structs (scratch starts nil per clone), so
+	// the buffers are never shared across goroutines.
+	xferBuf []byte
+	pollBuf []uint64
+
 	Stats Stats
 }
 

@@ -161,6 +161,19 @@ func (k *Kernel) dispatch(t *Task, nr int, a [6]uint64) (uint64, ctxMarshal, err
 		if err != nil {
 			return 0, m, err
 		}
+		if a[2] != 0 { // EPOLL_CTL_DEL
+			// closeFD does not unhook epoll membership (matching the need
+			// for explicit DEL in real epoll): connection-churn loops must
+			// drop interest before closing or the scan would keep walking
+			// a freed file struct.
+			for i, g := range ep.interest {
+				if g == f {
+					ep.interest = append(ep.interest[:i], ep.interest[i+1:]...)
+					break
+				}
+			}
+			return 0, m, nil
+		}
 		ep.interest = append(ep.interest, f)
 		return 0, m, nil
 
@@ -328,7 +341,7 @@ func (k *Kernel) doRead(t *Task, f *File, buf, n uint64) (uint64, ctxMarshal, er
 		}
 		srcVA := f.dataVA + f.offset
 		pa, _ := memsim.DirectMapPA(srcVA, k.Phys.Bytes())
-		data := make([]byte, avail)
+		data := k.xfer(avail)
 		k.Phys.CopyOut(pa, data)
 		if err := k.CopyToUser(t, buf, data); err != nil {
 			return 0, m, err
@@ -354,7 +367,7 @@ func (k *Kernel) doWrite(t *Task, f *File, buf, n uint64) (uint64, ctxMarshal, e
 		if err := k.ensureUserPages(t, buf, n+8); err != nil {
 			return 0, m, err
 		}
-		data, err := k.ReadUser(t, buf, int(n))
+		data, err := k.readUserXfer(t, buf, int(n))
 		if err != nil {
 			return 0, m, err
 		}
@@ -386,7 +399,7 @@ func (k *Kernel) doSend(t *Task, f *File, buf, n uint64) (uint64, ctxMarshal, er
 	if err := k.ensureUserPages(t, buf, n+8); err != nil {
 		return 0, m, err
 	}
-	data, err := k.ReadUser(t, buf, int(n))
+	data, err := k.readUserXfer(t, buf, int(n))
 	if err != nil {
 		return 0, m, err
 	}
@@ -616,7 +629,7 @@ func (k *Kernel) scanFDs(t *Task, nr int, fds []int) (int, error) {
 	k.switchTo(t)
 	k.Stats.Syscalls++
 	ready := 0
-	var arr []uint64
+	arr := k.pollBuf[:0]
 	for _, fd := range fds {
 		f, err := k.lookupFD(t, fd)
 		if err != nil {
@@ -628,6 +641,7 @@ func (k *Kernel) scanFDs(t *Task, nr int, fds []int) (int, error) {
 			ready++
 		}
 	}
+	k.pollBuf = arr[:0]
 	m := ctxMarshal{nfds: k.renderPollArray(t, arr), src: t.pollVA, words: 2, dst: t.TaskVA() + 0x100}
 	k.timeSyscall(t, nr, m, [6]uint64{uint64(len(fds))})
 	return ready, nil
@@ -655,7 +669,7 @@ func (k *Kernel) EpollWait(t *Task, epfd int) (int, error) {
 	if err != nil || ep.Kind != FileEpoll {
 		return 0, ErrBadFD
 	}
-	var arr []uint64
+	arr := k.pollBuf[:0]
 	ready := 0
 	for _, f := range ep.interest {
 		k.marshalFile(f)
@@ -664,6 +678,7 @@ func (k *Kernel) EpollWait(t *Task, epfd int) (int, error) {
 			ready++
 		}
 	}
+	k.pollBuf = arr[:0]
 	m := ctxMarshal{nfds: k.renderPollArray(t, arr), src: t.pollVA, words: 1, dst: t.TaskVA() + 0x100}
 	k.timeSyscall(t, kimage.NREpollWait, m, [6]uint64{uint64(epfd)})
 	return ready, nil

@@ -37,6 +37,12 @@ type Task struct {
 	files  map[int]*File
 	nextFD int
 
+	// reuseFDs switches the task to POSIX lowest-free descriptor
+	// allocation (see EnableFDReuse); freeFDs holds closed descriptors
+	// sorted descending so the lowest pops from the tail.
+	reuseFDs bool
+	freeFDs  []int
+
 	kstackVA  uint64 // vmalloc'd kernel stack base
 	replicaVA uint64 // per-process replica of hot globals
 	fopsVA    uint64 // per-process f_op tables (0 if not replicated)
@@ -69,6 +75,10 @@ func (k *Kernel) SetSeccomp(t *Task, allowed []int) {
 
 // Ctx returns the task's security context (its cgroup ID).
 func (t *Task) Ctx() sec.Ctx { return t.Group.ID }
+
+// NextFD exposes the task's high-water descriptor number (tests assert the
+// descriptor space stays bounded under connection churn with reuse on).
+func (t *Task) NextFD() int { return t.nextFD }
 
 // TaskVA returns the direct-map VA of the task struct.
 func (t *Task) TaskVA() uint64 { return memsim.DirectMapVA(t.taskPFN * memsim.PageSize) }
@@ -334,13 +344,34 @@ func (k *Kernel) CopyToUser(t *Task, va uint64, data []byte) error {
 	return nil
 }
 
-// ReadUser reads bytes from the task's user memory.
-func (k *Kernel) ReadUser(t *Task, va uint64, n int) ([]byte, error) {
-	out := make([]byte, n)
+// xfer returns the kernel's reusable transfer buffer sized to n bytes.
+// Callers must fully consume the result before the next syscall path runs —
+// every user of the buffer copies out of it synchronously, which is what
+// keeps the read/write/send/recv drive path allocation-free.
+func (k *Kernel) xfer(n uint64) []byte {
+	if uint64(cap(k.xferBuf)) < n {
+		k.xferBuf = make([]byte, n)
+	}
+	return k.xferBuf[:n]
+}
+
+// readUserXfer is ReadUser into the reusable transfer buffer — the syscall
+// hot path's variant. The returned slice aliases kernel scratch and is only
+// valid until the next xfer call.
+func (k *Kernel) readUserXfer(t *Task, va uint64, n int) ([]byte, error) {
+	out := k.xfer(uint64(n))
+	if err := k.readUserInto(t, va, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (k *Kernel) readUserInto(t *Task, va uint64, out []byte) error {
+	n := len(out)
 	for off := uint64(0); off < uint64(n); {
 		pa, ok := t.AS.Translate(va + off)
 		if !ok {
-			return nil, fmt.Errorf("kernel: ReadUser unmapped %#x", va+off)
+			return fmt.Errorf("kernel: ReadUser unmapped %#x", va+off)
 		}
 		chunk := memsim.PageSize - ((va + off) & (memsim.PageSize - 1))
 		if rem := uint64(n) - off; chunk > rem {
@@ -348,6 +379,15 @@ func (k *Kernel) ReadUser(t *Task, va uint64, n int) ([]byte, error) {
 		}
 		k.Phys.CopyOut(pa, out[off:off+chunk])
 		off += chunk
+	}
+	return nil
+}
+
+// ReadUser reads bytes from the task's user memory.
+func (k *Kernel) ReadUser(t *Task, va uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	if err := k.readUserInto(t, va, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

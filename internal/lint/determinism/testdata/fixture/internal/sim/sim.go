@@ -85,6 +85,26 @@ func concatEscape(m map[string]int) string {
 	return s
 }
 
+// digest mirrors the loadgen latency digest: a fixed histogram merged
+// bucket-wise into an accumulator. Integer += commutes, so folding shard
+// digests while ranging a map is order-insensitive and must stay unflagged —
+// the taillats merge path depends on this idiom passing the suite.
+type digest struct {
+	count   uint64
+	buckets [8]uint64
+}
+
+func digestFold(m map[string]*digest) digest {
+	var out digest
+	for _, d := range m {
+		out.count += d.count
+		for i := range d.buckets {
+			out.buckets[i] += d.buckets[i]
+		}
+	}
+	return out
+}
+
 func mapToMap(m map[string]int) map[string]int {
 	out := map[string]int{}
 	for k, v := range m {

@@ -1,0 +1,106 @@
+package loadgen
+
+import "testing"
+
+// FuzzArrivalProcess drives randomized stream configurations through the
+// generator and replay engine and checks the invariants every taillats cell
+// depends on: arrivals strictly increase, equal configs replay identically,
+// keys stay inside the universe, and sharded digests merge to the
+// whole-stream digest.
+func FuzzArrivalProcess(f *testing.F) {
+	f.Add(int64(1), int64(0), 1000.0, 8, 0.9, uint64(4096), uint64(500))
+	f.Add(int64(42), int64(1), 250.0, 1, 1.0, uint64(0), uint64(300))
+	f.Add(int64(-7), int64(0), 1.5, 64, 0.0, uint64(2), uint64(1000))
+	f.Add(int64(99), int64(1), 1e9, 3, 0.5, uint64(1), uint64(100))
+	f.Add(int64(0), int64(0), 0.0, 0, -1.0, uint64(1<<40), uint64(200))
+	f.Fuzz(func(t *testing.T, seed, kind int64, meanGap float64, conns int, keepP float64, keys, n uint64) {
+		if n > 5000 {
+			n = 5000
+		}
+		if meanGap != meanGap || meanGap > 1e15 { // NaN / absurd gaps
+			t.Skip()
+		}
+		if conns > 1<<16 {
+			conns = 1 << 16
+		}
+		cfg := StreamConfig{
+			Seed:       seed,
+			Kind:       ArrivalKind(kind & 1),
+			MeanGap:    meanGap,
+			Conns:      conns,
+			KeepAliveP: keepP,
+			Keys:       keys,
+			ZipfS:      1.1,
+		}
+
+		res := NewReservoir(seed ^ 0x5eed)
+		res.AddKeep(200)
+		res.AddKeep(450)
+		res.AddChurn(1600)
+
+		run := func() (Digest, ReplayStats, float64) {
+			s := NewStream(cfg)
+			var d Digest
+			st := Replay(s, res2(res), n, &d)
+			// Re-walk a fresh stream to re-check per-request invariants.
+			chk := NewStream(cfg)
+			var r Req
+			prev := -1.0
+			for i := uint64(0); i < n; i++ {
+				chk.Next(&r)
+				if r.Arrival <= prev {
+					t.Fatalf("arrival %d not increasing: %g after %g", i, r.Arrival, prev)
+				}
+				prev = r.Arrival
+				if cfg.Keys > 1 && r.Key >= cfg.Keys {
+					t.Fatalf("key %d outside universe %d", r.Key, cfg.Keys)
+				}
+				if cfg.Keys <= 1 && r.Key != 0 {
+					t.Fatalf("keyless stream produced key %d", r.Key)
+				}
+				if r.Conn < 0 || (cfg.Conns > 0 && r.Conn >= cfg.Conns) {
+					t.Fatalf("conn %d outside pool %d", r.Conn, cfg.Conns)
+				}
+			}
+			return d, st, prev
+		}
+		d1, st1, last1 := run()
+		d2, st2, last2 := run()
+		if d1 != d2 || st1 != st2 || last1 != last2 {
+			t.Fatal("identical configs produced different replays")
+		}
+		if d1.Count() != n {
+			t.Fatalf("digest count %d, want %d", d1.Count(), n)
+		}
+
+		// Sharded digests (round-robin split of one recorded stream) must
+		// merge back to the whole-stream digest.
+		s := NewStream(cfg)
+		var whole Digest
+		shards := make([]Digest, 4)
+		var r Req
+		for i := uint64(0); i < n; i++ {
+			s.Next(&r)
+			whole.Record(r.Arrival)
+			shards[i%4].Record(r.Arrival)
+		}
+		var merged Digest
+		for i := range shards {
+			merged.Merge(&shards[i])
+		}
+		// Bucket counts are integer and order-exact; the float sum is only
+		// reassociated, so compare the histogram, not the struct.
+		if merged.buckets != whole.buckets || merged.count != whole.count {
+			t.Fatal("sharded digest merge differs from whole-stream digest")
+		}
+	})
+}
+
+// res2 rebuilds a reservoir with the same contents and seed so both replay
+// runs draw identical sample sequences.
+func res2(r *Reservoir) *Reservoir {
+	n := NewReservoir(r.seed)
+	n.keep = append(n.keep, r.keep...)
+	n.churn = append(n.churn, r.churn...)
+	return n
+}
