@@ -7,9 +7,12 @@
 //     cpu issue loop, kernel syscall round-trip) via `go test -bench`,
 //     parsed into name → ns/op, B/op, allocs/op.
 //  2. end_to_end: a supervised `-exp all` run at a fixed worker count,
-//     reported as wall seconds and experiment cells per second.
+//     reported as wall seconds and experiment cells per second — in
+//     aggregate, per experiment, and over the stable experiment subset
+//     whose cells/sec series is comparable across PRs.
 //  3. sim_mips: a syscall-storm probe on one machine, reporting simulated
-//     (committed) instructions per host second.
+//     (committed) instructions per host second, plus a `pprof -top -cum`
+//     hot-functions table from a CPU profile of the same probe.
 //
 // All numbers are host-side only; nothing here affects simulated output.
 //
@@ -29,6 +32,7 @@ import (
 	"regexp"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -49,6 +53,18 @@ type Report struct {
 	EndToEnd  *EndToEnd      `json:"end_to_end,omitempty"`
 	SimProbe  *SimProbe      `json:"sim_probe,omitempty"`
 	Taillats  *TaillatsProbe `json:"taillats_probe,omitempty"`
+	// HotFunctions is the top of `go tool pprof -top -cum` over a CPU
+	// profile of one sim-probe pass: where the issue loop actually spends
+	// host time, committed alongside the numbers so a perf PR's before/after
+	// can be read from the diff.
+	HotFunctions []HotFunc `json:"hot_functions,omitempty"`
+}
+
+// HotFunc is one profile frame, ordered by cumulative share.
+type HotFunc struct {
+	Function string  `json:"function"`
+	FlatPct  float64 `json:"flat_pct"`
+	CumPct   float64 `json:"cum_pct"`
 }
 
 // Micro is one Go benchmark result.
@@ -59,14 +75,40 @@ type Micro struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// EndToEnd is the supervised full-experiment run.
+// EndToEnd is the supervised full-experiment run. The aggregate cells/sec
+// stopped being comparable across PRs when the taillats experiment joined
+// the registry (one of its cells replays ≥10⁵ requests where a grid cell
+// runs one workload), so the stable_* fields rerun the arithmetic over the
+// pre-taillats experiment subset — that series is continuous with the old
+// cells_per_sec — and per_experiment breaks the wall time down so future
+// registry growth can be normalized out the same way. See EXPERIMENTS.md
+// ("Host-performance methodology").
 type EndToEnd struct {
 	Jobs        int     `json:"jobs"`
 	Experiments int     `json:"experiments"`
 	Cells       uint64  `json:"cells"`
 	WallSeconds float64 `json:"wall_seconds"`
 	CellsPerSec float64 `json:"cells_per_sec"`
+	// Stable subset: the registry minus stableExclude, measured as its own
+	// supervised pass within the same repeat.
+	StableCells       uint64      `json:"stable_cells"`
+	StableWallSeconds float64     `json:"stable_wall_seconds"`
+	StableCellsPerSec float64     `json:"stable_cells_per_sec"`
+	PerExperiment     []ExpTiming `json:"per_experiment"`
 }
+
+// ExpTiming is one experiment's share of the end-to-end wall time (from the
+// fastest repeat).
+type ExpTiming struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Stable      bool    `json:"stable"`
+}
+
+// stableExclude names experiments outside the stable cells/sec denominator:
+// added after the original baseline with a per-cell cost so different that
+// including them breaks the series (taillats: 10⁵-request replay per cell).
+var stableExclude = map[string]bool{"taillats": true}
 
 // SimProbe is the simulated-instruction throughput measurement.
 type SimProbe struct {
@@ -143,6 +185,11 @@ func main() {
 			fatal(err)
 		}
 		rep.Taillats = tl
+		hot, err := hotFunctions()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport: hot-functions profile skipped:", err)
+		}
+		rep.HotFunctions = hot
 	}
 
 	b, err := json.MarshalIndent(rep, "", "  ")
@@ -159,8 +206,8 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d benchmarks", *out, len(rep.Micro))
 	if rep.EndToEnd != nil {
-		fmt.Printf(", %.2f cells/sec, %.2f sim MIPS (threaded share %.0f%%, bb hit rate %.1f%%)",
-			rep.EndToEnd.CellsPerSec, rep.SimProbe.SimMIPS,
+		fmt.Printf(", %.2f cells/sec (stable subset %.2f), %.2f sim MIPS (threaded share %.0f%%, bb hit rate %.1f%%)",
+			rep.EndToEnd.CellsPerSec, rep.EndToEnd.StableCellsPerSec, rep.SimProbe.SimMIPS,
 			100*rep.SimProbe.ThreadedShare, 100*rep.SimProbe.BBHitRate)
 	}
 	if rep.Taillats != nil {
@@ -305,26 +352,58 @@ const e2eRepeats = 3
 // disabled: this is a measurement, not a resumable run), then boots one
 // machine for a syscall-storm MIPS probe. Both take the best of
 // e2eRepeats passes.
+//
+// Each repeat runs the registry in two supervised groups — the stable
+// subset, then the stableExclude experiments — so the stable group's cells
+// and wall time are measured directly rather than inferred, and its shared
+// harness sees the same experiment mix the original baseline did.
 func runEndToEnd(jobs int) (*EndToEnd, *SimProbe, error) {
 	opt := harness.QuickOptions()
 	opt.Jobs = jobs
+	var stable, excluded []harness.Experiment
+	for _, e := range harness.Experiments() {
+		if stableExclude[e.Name] {
+			excluded = append(excluded, e)
+		} else {
+			stable = append(stable, e)
+		}
+	}
+	sup := harness.SupervisorOptions{Retries: 1}
 	var e2e *EndToEnd
 	for i := 0; i < e2eRepeats; i++ {
 		cells0 := harness.CellsRun()
 		start := time.Now()
-		results, err := harness.Supervise(opt, harness.SupervisorOptions{Retries: 1}, io.Discard)
-		wall := time.Since(start).Seconds()
+		results, err := harness.SuperviseExperiments(opt, sup, stable, io.Discard)
 		if err != nil {
-			return nil, nil, fmt.Errorf("end-to-end run: %w", err)
+			return nil, nil, fmt.Errorf("end-to-end run (stable subset): %w", err)
 		}
+		stableWall := time.Since(start).Seconds()
+		stableCells := harness.CellsRun() - cells0
+		exclResults, err := harness.SuperviseExperiments(opt, sup, excluded, io.Discard)
+		if err != nil {
+			return nil, nil, fmt.Errorf("end-to-end run (excluded subset): %w", err)
+		}
+		wall := time.Since(start).Seconds()
 		if e2e == nil || wall < e2e.WallSeconds {
 			cells := harness.CellsRun() - cells0
 			e2e = &EndToEnd{
-				Jobs:        jobs,
-				Experiments: len(results),
-				Cells:       cells,
-				WallSeconds: wall,
-				CellsPerSec: float64(cells) / wall,
+				Jobs:              jobs,
+				Experiments:       len(results) + len(exclResults),
+				Cells:             cells,
+				WallSeconds:       wall,
+				CellsPerSec:       float64(cells) / wall,
+				StableCells:       stableCells,
+				StableWallSeconds: stableWall,
+				StableCellsPerSec: float64(stableCells) / stableWall,
+			}
+			e2e.PerExperiment = e2e.PerExperiment[:0]
+			for _, r := range results {
+				e2e.PerExperiment = append(e2e.PerExperiment,
+					ExpTiming{Name: r.Name, WallSeconds: float64(r.DurationMS) / 1000, Stable: true})
+			}
+			for _, r := range exclResults {
+				e2e.PerExperiment = append(e2e.PerExperiment,
+					ExpTiming{Name: r.Name, WallSeconds: float64(r.DurationMS) / 1000})
 			}
 		}
 	}
@@ -340,6 +419,69 @@ func runEndToEnd(jobs int) (*EndToEnd, *SimProbe, error) {
 		}
 	}
 	return e2e, probe, nil
+}
+
+// hotTopRe matches one `pprof -top` table row: flat, flat%, sum%, cum, cum%,
+// then the function name (which may contain spaces in generic instantiations).
+var hotTopRe = regexp.MustCompile(`^\s*\S+\s+([0-9.]+)%\s+[0-9.]+%\s+\S+\s+([0-9.]+)%\s+(.+?)\s*$`)
+
+// hotFunctions CPU-profiles one sim-probe pass and returns the top frames by
+// cumulative share, via `go tool pprof -top -cum` (the toolchain is already
+// a runtime dependency of runMicro). Failures are reported, not fatal: the
+// profile section is diagnostics, and a report without it is still valid.
+func hotFunctions() ([]HotFunc, error) {
+	f, err := os.CreateTemp("", "simprobe-*.pb.gz")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(f.Name())
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// One probe pass is ~30 ms — far under the 100 Hz sampler's resolution.
+	// Loop passes for ~2 s of profiled work so the table has real statistics.
+	var probeErr error
+	for start := time.Now(); time.Since(start) < 2*time.Second; {
+		if _, probeErr = simProbe(); probeErr != nil {
+			break
+		}
+	}
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if probeErr != nil {
+		return nil, probeErr
+	}
+	cmd := exec.Command("go", "tool", "pprof", "-top", "-cum", "-nodecount=24", f.Name())
+	cmd.Stderr = os.Stderr
+	outb, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go tool pprof: %w", err)
+	}
+	var hot []HotFunc
+	for _, line := range strings.Split(string(outb), "\n") {
+		m := hotTopRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		// The driver scaffolding (main.*, runtime.main) carries 100% cum but
+		// says nothing about the simulator; keep the frames that do.
+		if strings.HasPrefix(m[3], "main.") || m[3] == "runtime.main" {
+			continue
+		}
+		flat, _ := strconv.ParseFloat(m[1], 64)
+		cum, _ := strconv.ParseFloat(m[2], 64)
+		hot = append(hot, HotFunc{Function: m[3], FlatPct: flat, CumPct: cum})
+		if len(hot) == 10 {
+			break
+		}
+	}
+	if len(hot) == 0 {
+		return nil, fmt.Errorf("no frames parsed from pprof -top output")
+	}
+	return hot, nil
 }
 
 // simProbe boots one machine on the quick-scale kernel image and drives a

@@ -1,9 +1,10 @@
 // Command perspective-lint is the multichecker driver for the simulator's
 // invariant analyzers: determinism (no ambient time/randomness or unordered
 // map emission in internal/ packages), errwrap (context-wrapped error
-// propagation), and specgate (speculative memory access only through the
-// DSV/ISV-checked accessors). See DESIGN.md §8 for the rules and the
-// //lint:allow escape hatch.
+// propagation), specgate (speculative memory access only through the
+// DSV/ISV-checked accessors), and l0gate (the L0 line-lookaside micro-cache
+// reachable only from the committed path). See DESIGN.md §8 and §12 for the
+// rules and the //lint:allow escape hatch.
 //
 // Usage:
 //
@@ -22,6 +23,7 @@ import (
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/determinism"
 	"repro/internal/lint/errwrap"
+	"repro/internal/lint/l0gate"
 	"repro/internal/lint/load"
 	"repro/internal/lint/specgate"
 )
@@ -31,6 +33,7 @@ var analyzers = []*analysis.Analyzer{
 	determinism.Analyzer,
 	errwrap.Analyzer,
 	specgate.Analyzer,
+	l0gate.Analyzer,
 }
 
 func main() {

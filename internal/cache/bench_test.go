@@ -41,3 +41,42 @@ func BenchmarkCacheLookup(b *testing.B) {
 		c.Lookup(addrs[i&4095])
 	}
 }
+
+// BenchmarkAccessHot measures Access on a guaranteed-hit stream over a small
+// resident working set — the exact case the cpu package's L0 micro-cache
+// short-circuits via CommitHit. Compare against BenchmarkCommitHit to read
+// off the per-access saving of the fast path.
+func BenchmarkAccessHot(b *testing.B) {
+	c := New(DefaultL1D)
+	addrs := make([]uint64, 64)
+	for i := range addrs {
+		// 64 distinct sets, one line each: every access after warmup hits.
+		addrs[i] = uint64(i) * uint64(DefaultL1D.LineBytes)
+		c.Access(addrs[i], true)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&63], true)
+	}
+}
+
+// BenchmarkCommitHit measures the L0 replay transition in isolation: the
+// state update a generation-valid lookaside hit applies instead of the full
+// Access above.
+func BenchmarkCommitHit(b *testing.B) {
+	c := New(DefaultL1D)
+	slots := make([]int32, 64)
+	for i := range slots {
+		a := uint64(i) * uint64(DefaultL1D.LineBytes)
+		c.Access(a, true)
+		s, ok := c.MRUSlot(a)
+		if !ok {
+			b.Fatal("line not resident after fill")
+		}
+		slots[i] = s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.CommitHit(slots[i&63])
+	}
+}

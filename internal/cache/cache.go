@@ -65,27 +65,36 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
-// way is one line's metadata. tag holds the address tag + 1 so the zero
-// value is an invalid way; keeping tag and LRU stamp adjacent means a probe
-// touches one cache line of host memory per way instead of three slices.
-type way struct {
-	tag   uint64 // address tag + 1; 0 = invalid
-	stamp uint64 // LRU timestamp
-}
-
 // Cache is one set-associative array with true-LRU replacement.
+//
+// Line metadata is kept struct-of-arrays: tags and LRU stamps live in two
+// dense parallel slices indexed by set*Ways+way. The hit check scans only
+// tags — eight per 64-byte host line instead of four {tag,stamp} pairs — and
+// stamps are touched exactly once per hit or fill. A tag holds the address
+// tag + 1 so the zero value is an invalid way (no separate valid array).
 type Cache struct {
 	cfg       Config
 	lineShift uint
 	tagShift  uint // lineShift + log2(Sets), precomputed off the hot path
 	setMask   uint64
-	ways      []way
+	tags      []uint64 // address tag + 1 per slot; 0 = invalid
+	stamps    []uint64 // LRU timestamp per slot
 	// mru holds each set's most-recently-hit/filled way, probed before the
 	// full scan. Purely a host-side shortcut: tags are unique within a set,
 	// so a hint hit returns exactly what the scan would have found, and
 	// misses still scan every way in index order (victim choice unchanged).
 	mru   []int32
 	clock uint64
+	// gens counts content-changing events per set: every fill (and the
+	// eviction it implies), flush, and whole-array invalidation bumps the
+	// affected set's counter. Hits — with or without an LRU update — do not.
+	// A slot observed together with its set's generation therefore stays
+	// *tag-stable* while that generation is unchanged, which is the entire
+	// validity protocol of the L0 line-lookaside micro-caches in
+	// internal/cpu (DESIGN.md §12). Set-granular rather than cache-granular
+	// so a fill in one set does not mass-invalidate lookaside entries for
+	// every other set.
+	gens  []uint64
 	stats Stats
 
 	// obs, when set, receives one event per fill (and per eviction a fill
@@ -123,8 +132,10 @@ func New(cfg Config) *Cache {
 		lineShift: shift,
 		tagShift:  shift + log2(uint64(cfg.Sets)),
 		setMask:   uint64(cfg.Sets - 1),
-		ways:      make([]way, cfg.Sets*cfg.Ways),
+		tags:      make([]uint64, cfg.Sets*cfg.Ways),
+		stamps:    make([]uint64, cfg.Sets*cfg.Ways),
 		mru:       make([]int32, cfg.Sets),
+		gens:      make([]uint64, cfg.Sets),
 	}
 }
 
@@ -136,6 +147,18 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // ResetStats zeroes the counters without touching cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// GenAt reports the content generation of addr's set: it advances on every
+// fill, forced eviction, flush, and invalidation affecting that set, and on
+// nothing else. L0 micro-cache entries record it at install time and are
+// valid exactly while it is unchanged.
+func (c *Cache) GenAt(addr uint64) uint64 {
+	return c.gens[(addr>>c.lineShift)&c.setMask]
+}
+
+// LineShift reports log2(LineBytes) — the shift that maps an address to its
+// line number (L0 installers key entries by it).
+func (c *Cache) LineShift() uint { return c.lineShift }
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	line := addr >> c.lineShift
@@ -165,13 +188,13 @@ func (c *Cache) SetOf(addr uint64) int {
 func (c *Cache) Lookup(addr uint64) bool {
 	set, tag := c.index(addr)
 	base := set * c.cfg.Ways
-	ws := c.ways[base : base+c.cfg.Ways]
+	tags := c.tags[base : base+c.cfg.Ways]
 	tag1 := tag + 1
-	if h := int(c.mru[set]); h < len(ws) && ws[h].tag == tag1 {
+	if tags[c.mru[set]] == tag1 {
 		return true
 	}
-	for _, e := range ws {
-		if e.tag == tag1 {
+	for _, t := range tags {
+		if t == tag1 {
 			return true
 		}
 	}
@@ -182,51 +205,90 @@ func (c *Cache) Lookup(addr uint64) bool {
 // returns whether it hit. When updateLRU is false a hit leaves replacement
 // state untouched — Perspective defers LRU updates for speculative accesses
 // until the visibility point (§6.2); the caller re-invokes Touch at VP.
+//
+// The MRU-hint hit stays under the inlining budget; everything else — the
+// full way scan, victim selection, the fill — is in accessScan.
 func (c *Cache) Access(addr uint64, updateLRU bool) bool {
 	c.clock++
 	c.stats.Accesses++
-	set, tag := c.index(addr)
-	base := set * c.cfg.Ways
-	ws := c.ways[base : base+c.cfg.Ways]
-	tag1 := tag + 1
-	if h := int(c.mru[set]); h < len(ws) {
-		if e := &ws[h]; e.tag == tag1 {
-			c.stats.Hits++
-			if updateLRU {
-				e.stamp = c.clock
-			}
-			return true
+	set := int((addr >> c.lineShift) & c.setMask)
+	slot := set*c.cfg.Ways + int(c.mru[set])
+	if c.tags[slot] == (addr>>c.tagShift)+1 {
+		c.stats.Hits++
+		if updateLRU {
+			c.stamps[slot] = c.clock
 		}
+		return true
 	}
+	return c.accessScan(addr, set, updateLRU)
+}
+
+// accessScan is Access past the MRU hint: scan every way in index order,
+// fill on a miss. Victim choice is unchanged from the struct-walk era: the
+// first invalid way, else the minimum-stamp (least recently used) way.
+func (c *Cache) accessScan(addr uint64, set int, updateLRU bool) bool {
+	base := set * c.cfg.Ways
+	tags := c.tags[base : base+c.cfg.Ways]
+	tag1 := (addr >> c.tagShift) + 1
 	victim := -1
 	var victimStamp uint64
 	hasInvalid := false
-	for w := range ws {
-		e := &ws[w]
-		if e.tag == tag1 {
+	for w, t := range tags {
+		if t == tag1 {
 			c.stats.Hits++
 			if updateLRU {
-				e.stamp = c.clock
+				c.stamps[base+w] = c.clock
 			}
 			c.mru[set] = int32(w)
 			return true
 		}
 		switch {
-		case e.tag == 0 && !hasInvalid:
+		case t == 0 && !hasInvalid:
 			victim, hasInvalid = w, true
-		case !hasInvalid && (victim == -1 || e.stamp < victimStamp):
-			victim, victimStamp = w, e.stamp
+		case !hasInvalid && (victim == -1 || c.stamps[base+w] < victimStamp):
+			victim, victimStamp = w, c.stamps[base+w]
 		}
 	}
 	// Miss: fill. Even speculative fills happen on baseline hardware — this
 	// is the transmission step of every PoC in internal/attack.
 	c.stats.Fills++
+	c.gens[set]++
 	if c.obs != nil {
-		c.noteFill(set, victim, tag1, ws[victim].tag)
+		c.noteFill(set, victim, tag1, c.tags[base+victim])
 	}
-	ws[victim] = way{tag: tag1, stamp: c.clock}
+	c.tags[base+victim] = tag1
+	c.stamps[base+victim] = c.clock
 	c.mru[set] = int32(victim)
 	return false
+}
+
+// CommitHit re-applies a committed-path hit to the line in slot, bypassing
+// the index computation and way scan. It is exactly the state transition of
+// Access(addr, true) hitting that line — clock advance, access/hit counters,
+// stamp update — and nothing else, so a caller that has *proved* the line is
+// still in slot (an L0 entry whose generation matches GenAt) gets a
+// byte-identical cache afterwards. The proof obligation is the caller's;
+// perspective-lint's l0gate analyzer confines callers to the committed-path
+// accessors in internal/cpu.
+func (c *Cache) CommitHit(slot int32) {
+	c.clock++
+	c.stats.Accesses++
+	c.stats.Hits++
+	c.stamps[slot] = c.clock
+}
+
+// MRUSlot returns the dense slot index of addr's set's MRU way, and whether
+// that way currently holds addr's line. Immediately after a committed Access
+// of addr it does (hit and fill both set the hint), which is when the L0
+// installers call it; the presence check guards the one exception, a
+// next-line prefetch landing in the same set (only possible with Sets == 1).
+func (c *Cache) MRUSlot(addr uint64) (int32, bool) {
+	set := int((addr >> c.lineShift) & c.setMask)
+	slot := int32(set*c.cfg.Ways) + c.mru[set]
+	if c.tags[slot] == (addr>>c.tagShift)+1 {
+		return slot, true
+	}
+	return 0, false
 }
 
 // SetObs attaches an observation recorder (nil detaches); tag names this
@@ -253,12 +315,12 @@ func (c *Cache) noteFill(set, victim int, newTag1, oldTag1 uint64) {
 func (c *Cache) Touch(addr uint64) {
 	set, tag := c.index(addr)
 	base := set * c.cfg.Ways
-	ws := c.ways[base : base+c.cfg.Ways]
+	tags := c.tags[base : base+c.cfg.Ways]
 	tag1 := tag + 1
-	for w := range ws {
-		if e := &ws[w]; e.tag == tag1 {
+	for w, t := range tags {
+		if t == tag1 {
 			c.clock++
-			e.stamp = c.clock
+			c.stamps[base+w] = c.clock
 			return
 		}
 	}
@@ -269,9 +331,10 @@ func (c *Cache) Flush(addr uint64) {
 	set, tag := c.index(addr)
 	base := set * c.cfg.Ways
 	for w := 0; w < c.cfg.Ways; w++ {
-		if e := &c.ways[base+w]; e.tag == tag+1 {
-			e.tag = 0
+		if c.tags[base+w] == tag+1 {
+			c.tags[base+w] = 0
 			c.stats.Flushes++
+			c.gens[set]++
 			return
 		}
 	}
@@ -280,9 +343,28 @@ func (c *Cache) Flush(addr uint64) {
 // InvalidateAll empties the cache (used to model the L1D flush mitigation
 // comparison and to reset between experiments).
 func (c *Cache) InvalidateAll() {
-	for i := range c.ways {
-		c.ways[i].tag = 0
+	for i := range c.tags {
+		c.tags[i] = 0
 	}
+	for i := range c.gens {
+		c.gens[i]++
+	}
+}
+
+// StateDigest hashes the architecturally meaningful cache state — tags,
+// stamps, and the LRU clock, FNV-1a word-wise — for differential suites
+// pinning two caches byte-equal. The mru hint is deliberately excluded: it
+// is a host-side shortcut that never changes what any operation returns.
+func (c *Cache) StateDigest() uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, t := range c.tags {
+		h = (h ^ t) * prime
+	}
+	for _, s := range c.stamps {
+		h = (h ^ s) * prime
+	}
+	return (h ^ c.clock) * prime
 }
 
 // Hierarchy is the paper's two-core cache system collapsed to the view of a
@@ -384,6 +466,15 @@ func (h *Hierarchy) FlushData(pa uint64) {
 func (h *Hierarchy) ProbeLatency(pa uint64) int {
 	lat, _ := h.AccessData(pa, true)
 	return lat
+}
+
+// StateDigest folds the three arrays' digests (differential suites compare
+// whole hierarchies with it).
+func (h *Hierarchy) StateDigest() uint64 {
+	const prime = 1099511628211
+	d := h.L1I.StateDigest()
+	d = (d ^ h.L1D.StateDigest()) * prime
+	return (d ^ h.L2.StateDigest()) * prime
 }
 
 func (h *Hierarchy) String() string {

@@ -167,8 +167,8 @@ func TestCapacityInvariant(t *testing.T) {
 			c.Access(uint64(a), true)
 		}
 		resident := 0
-		for i := range c.ways {
-			if c.ways[i].tag != 0 {
+		for _, tag := range c.tags {
+			if tag != 0 {
 				resident++
 			}
 		}

@@ -1,0 +1,132 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The L0 micro-caches in internal/cpu trust one invariant from this
+// package: a set's generation (GenAt) is unchanged if and only if the set's
+// *placement* — which line lives in which way — is unchanged, so a
+// generation-valid (line, slot) observation may be re-hit via CommitHit
+// without consulting the arrays. These tests pin both directions of the
+// protocol and the CommitHit ≡ committed-MRU-Access equivalence the fast
+// path replays.
+
+// TestGenProtocolInventory enumerates the events that must (and must not)
+// advance a set's generation.
+func TestGenProtocolInventory(t *testing.T) {
+	c := New(DefaultL1D)
+	a := uint64(0x1000)
+	g0 := c.GenAt(a)
+	c.Access(a, true) // miss -> fill: placement changed
+	if c.GenAt(a) == g0 {
+		t.Fatal("fill did not bump the set generation")
+	}
+	g1 := c.GenAt(a)
+	c.Access(a, true) // hit: stamps move, placement does not
+	if c.GenAt(a) != g1 {
+		t.Fatal("plain hit bumped the set generation")
+	}
+	// A hit from a *different* address in another set must not disturb
+	// this set's counter (per-set granularity is the whole point).
+	other := a + uint64(c.cfg.LineBytes) // next set
+	c.Access(other, true)
+	if c.GenAt(a) != g1 {
+		t.Fatal("fill in another set bumped this set's generation")
+	}
+	c.Flush(other) // flush of a present line in another set
+	if c.GenAt(a) != g1 {
+		t.Fatal("flush in another set bumped this set's generation")
+	}
+	c.Flush(a + uint64(c.cfg.LineBytes)*uint64(c.cfg.Sets)) // absent line, same set
+	if c.GenAt(a) != g1 {
+		t.Fatal("flush of an absent line bumped the set generation")
+	}
+	c.Flush(a) // present line, this set
+	if c.GenAt(a) == g1 {
+		t.Fatal("flush of a present line did not bump the set generation")
+	}
+	g2 := c.GenAt(a)
+	c.InvalidateAll()
+	if c.GenAt(a) == g2 {
+		t.Fatal("InvalidateAll did not bump the set generation")
+	}
+	// InvalidateAll must cover every set, not just set 0.
+	c2 := New(DefaultL1D)
+	gens := make([]uint64, c2.cfg.Sets)
+	for s := 0; s < c2.cfg.Sets; s++ {
+		gens[s] = c2.GenAt(uint64(s) * uint64(c2.cfg.LineBytes))
+	}
+	c2.InvalidateAll()
+	for s := 0; s < c2.cfg.Sets; s++ {
+		if c2.GenAt(uint64(s)*uint64(c2.cfg.LineBytes)) == gens[s] {
+			t.Fatalf("InvalidateAll left set %d's generation unchanged", s)
+		}
+	}
+}
+
+// TestCommitHitEquivalence is the cache-level differential for the L0
+// replay: two identical caches see the same access stream; whenever a
+// previously installed (line, slot, gen) observation is still
+// generation-valid on one cache, re-hitting it via CommitHit must leave
+// that cache bit-identical to the other one performing the full committed
+// Access. Installs and validity checks mirror internal/cpu's l0 code
+// exactly.
+func TestCommitHitEquivalence(t *testing.T) {
+	type entry struct {
+		addr uint64
+		slot int32
+		gen  uint64
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		full, fast := New(DefaultL1D), New(DefaultL1D)
+		var installed []entry
+		addrs := func() uint64 {
+			// A working set a few times larger than one way's worth of
+			// lines, so fills, conflict evictions and re-hits all occur.
+			return uint64(rng.Intn(4*full.cfg.Sets)) * uint64(full.cfg.LineBytes)
+		}
+		for step := 0; step < 5000; step++ {
+			switch rng.Intn(10) {
+			case 0:
+				a := addrs()
+				full.Flush(a)
+				fast.Flush(a)
+			case 1:
+				if rng.Intn(50) == 0 {
+					full.InvalidateAll()
+					fast.InvalidateAll()
+				}
+			default:
+				a := addrs()
+				// The fast cache consults its "L0": a generation-valid prior
+				// observation is replayed via CommitHit; otherwise both sides
+				// do the full access and install the observation.
+				replayed := false
+				for i := len(installed) - 1; i >= 0; i-- {
+					e := installed[i]
+					if e.addr == a && e.gen == fast.GenAt(a) {
+						if !full.Access(a, true) {
+							t.Fatalf("seed %d step %d: generation-valid entry but full access missed", seed, step)
+						}
+						fast.CommitHit(e.slot)
+						replayed = true
+						break
+					}
+				}
+				if !replayed {
+					full.Access(a, true)
+					fast.Access(a, true)
+					if slot, ok := fast.MRUSlot(a); ok {
+						installed = append(installed, entry{addr: a, slot: slot, gen: fast.GenAt(a)})
+					}
+				}
+			}
+			if f, g := full.StateDigest(), fast.StateDigest(); f != g {
+				t.Fatalf("seed %d step %d: digests diverged (full %#x, fast %#x)", seed, step, f, g)
+			}
+		}
+	}
+}

@@ -284,7 +284,7 @@ type Core struct {
 	acc Access
 	// tbuf and tstack are runTransient's store buffer and shadow call
 	// stack, hoisted here so a squash does not allocate.
-	tbuf   map[uint64]transientStore
+	tbuf   []transientStore
 	tstack []uint64
 
 	// progSrc supplies the pre-decoded program for the threaded engine
@@ -298,11 +298,20 @@ type Core struct {
 	// lockstep differential oracle's tap point. Test-only: the hook fires
 	// identically from both engines.
 	stepHook func(pc uint64)
+
+	// L0 line-lookaside micro-caches (l0.go): committed-path host-side
+	// shortcuts in front of L1D/L1I, validated by the caches' generation
+	// counters. l0off disables them for differential testing.
+	l0d      [l0Size]l0Entry
+	l0i      [l0Size]l0Entry
+	l0dShift uint
+	l0iShift uint
+	l0off    bool
 }
 
 // New builds a core around the given subsystems with an AllowAll policy.
 func New(cfg Config, code CodeSource, mem *memsim.Mem, h *cache.Hierarchy, bp *predict.Predictor) *Core {
-	return &Core{
+	c := &Core{
 		Cfg:        cfg,
 		Code:       code,
 		Mem:        mem,
@@ -311,6 +320,11 @@ func New(cfg Config, code CodeSource, mem *memsim.Mem, h *cache.Hierarchy, bp *p
 		Policy:     AllowAll{},
 		commitRing: make([]float64, cfg.ROB),
 	}
+	if h != nil {
+		c.l0dShift = h.L1D.LineShift()
+		c.l0iShift = h.L1I.LineShift()
+	}
+	return c
 }
 
 // SetKernelText installs the decoded kernel image for direct-indexed fetch.
@@ -380,7 +394,10 @@ func (c *Core) ExitKernel() {
 	}
 }
 
-// reg reads a register, honouring the hardwired zero.
+// reg reads a register, honouring the hardwired zero. Regs[R0] is
+// identically zero — every write site guards Rd != R0 and nothing else
+// writes slot 0 — so the hot threaded engine reads c.Regs[r] directly;
+// this helper keeps the explicit special case for the interpreter.
 func (c *Core) reg(r isa.Reg) uint64 {
 	if r == isa.R0 {
 		return 0
@@ -435,7 +452,12 @@ func (c *Core) fetchTiming(pc uint64) {
 
 func (c *Core) fetchTimingLine(pc, line uint64) {
 	c.lastFetchLine = line
-	lat, _ := c.H.AccessInst(pc &^ 63)
+	la := pc &^ 63
+	if c.l0Inst(la) {
+		return // L1I MRU re-hit: lat == L1Lat, no charge
+	}
+	lat, _ := c.H.AccessInst(la)
+	c.l0InstInstall(la)
 	if lat > c.H.L1Lat {
 		c.now += float64(lat - c.H.L1Lat)
 	}
@@ -597,7 +619,7 @@ func (c *Core) stepInterp(pc uint64, maxInsts int, fetchSlot float64, res *RunRe
 				}
 			}
 		}
-		lat, _ := c.H.AccessData(pa, true)
+		lat := c.l0Data(pa)
 		v := c.Mem.LoadPA(pa, inst.Size)
 		done := startT + float64(lat)
 		c.setReg(inst.Rd, v)
@@ -626,7 +648,7 @@ func (c *Core) stepInterp(pc uint64, maxInsts int, fetchSlot float64, res *RunRe
 			break
 		}
 		c.Mem.StorePA(pa, inst.Size, c.reg(inst.Rs2))
-		c.H.AccessData(pa, true)
+		c.l0Data(pa)
 		c.commit(startT + 1)
 
 	case isa.OpBranch:

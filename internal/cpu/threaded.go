@@ -18,6 +18,7 @@ package cpu
 
 import (
 	"repro/internal/bbcache"
+	"repro/internal/memsim"
 	"repro/internal/isa"
 )
 
@@ -27,41 +28,14 @@ import (
 // purely interpretive; tests use that for differential runs.
 func (c *Core) SetThreadedSource(src func() *bbcache.Program) { c.progSrc = src }
 
-// aluTail finishes a non-multiply ALU op: writeback, readiness, taint
-// propagation, commit. Mirrors the interpreter's OpALU epilogue exactly.
-func (c *Core) aluTail(op *isa.DOp, v uint64, startT float64) {
-	done := startT + 1
-	if op.Rd != isa.R0 {
-		c.Regs[op.Rd] = v
-		c.readyAt[op.Rd] = done
-		t1, t2 := c.taintUntil[op.Rs1], c.taintUntil[op.Rs2]
-		if op.Rs1 == isa.R0 {
-			t1 = 0
-		}
-		if op.Rs2 == isa.R0 {
-			t2 = 0
-		}
-		c.taintUntil[op.Rd] = max(t1, t2)
-	}
-	c.commit(done)
-}
-
-// aluTailZ is aluTail for the *Z decode specializations (Rs2 == R0): the
-// Rs2 taint read collapses to zero, leaving only Rs1's masked taint. The
-// propagated values are identical to aluTail's for any Rs2 == R0 encoding.
-func (c *Core) aluTailZ(op *isa.DOp, v uint64, startT float64) {
-	done := startT + 1
-	if op.Rd != isa.R0 {
-		c.Regs[op.Rd] = v
-		c.readyAt[op.Rd] = done
-		t1 := c.taintUntil[op.Rs1]
-		if op.Rs1 == isa.R0 {
-			t1 = 0
-		}
-		c.taintUntil[op.Rd] = t1
-	}
-	c.commit(done)
-}
+// Scoreboard-invariant exploited throughout the dispatch loop: readyAt[R0]
+// and taintUntil[R0] are never written (every writeback site guards
+// Rd != R0), so they are identically zero. Reading them through the plain
+// array instead of the R0-checking ready()/tainted() helpers is therefore
+// value-identical — max(x, 0) == x for the non-negative times the
+// scoreboard holds — and it lets every ALU form share one general
+// writeback tail: the *Z decode specializations compute the same floats
+// through the same operations, just with provably-zero Rs2 terms.
 
 // runThreaded executes decoded blocks starting at pc until the run ends
 // (returns 0, true), or until it must hand the PC back to the interpreter
@@ -114,36 +88,38 @@ func (c *Core) runThreaded(pc uint64, maxInsts int, fetchSlot float64, res *RunR
 			}
 			c.now += fetchSlot
 
+			// alu routes the simple ALU forms through the shared writeback
+			// tail below the switch; v is their result.
+			alu := false
+			var v uint64
+
 			switch op.Kind {
 			case isa.DNop:
 				c.commit(c.now)
 
-			case isa.DMov:
-				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
-				c.aluTail(op, c.reg(op.Rs1), startT)
+			case isa.DMov, isa.DMovZ:
+				v, alu = c.Regs[op.Rs1], true
 
-			case isa.DMovZ:
-				startT := max(c.now, c.ready(op.Rs1))
-				c.aluTailZ(op, c.reg(op.Rs1), startT)
+			case isa.DAddImm, isa.DAddImmZ:
+				v, alu = c.Regs[op.Rs1]+uint64(op.Imm), true
 
-			case isa.DAddImmZ:
-				startT := max(c.now, c.ready(op.Rs1))
-				c.aluTailZ(op, c.reg(op.Rs1)+uint64(op.Imm), startT)
+			case isa.DAndImm, isa.DAndImmZ:
+				v, alu = c.Regs[op.Rs1]&uint64(op.Imm), true
 
-			case isa.DAndImmZ:
-				startT := max(c.now, c.ready(op.Rs1))
-				c.aluTailZ(op, c.reg(op.Rs1)&uint64(op.Imm), startT)
+			case isa.DShlImm, isa.DShlImmZ:
+				v, alu = c.Regs[op.Rs1]<<(uint64(op.Imm)&63), true
 
-			case isa.DShlImmZ:
-				startT := max(c.now, c.ready(op.Rs1))
-				c.aluTailZ(op, c.reg(op.Rs1)<<(uint64(op.Imm)&63), startT)
-
-			case isa.DShrImmZ:
-				startT := max(c.now, c.ready(op.Rs1))
-				c.aluTailZ(op, c.reg(op.Rs1)>>(uint64(op.Imm)&63), startT)
+			case isa.DShrImm, isa.DShrImmZ:
+				v, alu = c.Regs[op.Rs1]>>(uint64(op.Imm)&63), true
 
 			case isa.DMovImm:
-				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				startT := c.now
+				if r := c.readyAt[op.Rs1]; r > startT {
+					startT = r
+				}
+				if r := c.readyAt[op.Rs2]; r > startT {
+					startT = r
+				}
 				done := startT + 1
 				if op.Rd != isa.R0 {
 					c.Regs[op.Rd] = uint64(op.Imm)
@@ -153,47 +129,31 @@ func (c *Core) runThreaded(pc uint64, maxInsts int, fetchSlot float64, res *RunR
 				c.commit(done)
 
 			case isa.DAdd:
-				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
-				c.aluTail(op, c.reg(op.Rs1)+c.reg(op.Rs2), startT)
-
-			case isa.DAddImm:
-				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
-				c.aluTail(op, c.reg(op.Rs1)+uint64(op.Imm), startT)
+				v, alu = c.Regs[op.Rs1]+c.Regs[op.Rs2], true
 
 			case isa.DSub:
-				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
-				c.aluTail(op, c.reg(op.Rs1)-c.reg(op.Rs2), startT)
+				v, alu = c.Regs[op.Rs1]-c.Regs[op.Rs2], true
 
 			case isa.DAnd:
-				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
-				c.aluTail(op, c.reg(op.Rs1)&c.reg(op.Rs2), startT)
-
-			case isa.DAndImm:
-				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
-				c.aluTail(op, c.reg(op.Rs1)&uint64(op.Imm), startT)
+				v, alu = c.Regs[op.Rs1]&c.Regs[op.Rs2], true
 
 			case isa.DOr:
-				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
-				c.aluTail(op, c.reg(op.Rs1)|c.reg(op.Rs2), startT)
+				v, alu = c.Regs[op.Rs1]|c.Regs[op.Rs2], true
 
 			case isa.DXor:
-				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
-				c.aluTail(op, c.reg(op.Rs1)^c.reg(op.Rs2), startT)
-
-			case isa.DShlImm:
-				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
-				c.aluTail(op, c.reg(op.Rs1)<<(uint64(op.Imm)&63), startT)
-
-			case isa.DShrImm:
-				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
-				c.aluTail(op, c.reg(op.Rs1)>>(uint64(op.Imm)&63), startT)
+				v, alu = c.Regs[op.Rs1]^c.Regs[op.Rs2], true
 
 			case isa.DALUGen:
-				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
-				c.aluTail(op, isa.EvalALU(op.AK, c.reg(op.Rs1), c.reg(op.Rs2), op.Imm), startT)
+				v, alu = isa.EvalALU(op.AK, c.Regs[op.Rs1], c.Regs[op.Rs2], op.Imm), true
 
 			case isa.DMul:
-				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
+				startT := c.now
+				if r := c.readyAt[op.Rs1]; r > startT {
+					startT = r
+				}
+				if r := c.readyAt[op.Rs2]; r > startT {
+					startT = r
+				}
 				if startT < c.specUntil && !polUnsafe {
 					c.acc = Access{
 						PC: op.PC, IsLoad: false, Ctx: c.ctx, Kernel: c.kernelMode,
@@ -213,27 +173,31 @@ func (c *Core) runThreaded(pc uint64, maxInsts int, fetchSlot float64, res *RunR
 						}
 					}
 				}
-				v := c.reg(op.Rs1) * c.reg(op.Rs2)
+				mv := c.Regs[op.Rs1] * c.Regs[op.Rs2]
 				done := startT + float64(c.Cfg.MulLatency)
 				if op.Rd != isa.R0 {
-					c.Regs[op.Rd] = v
+					c.Regs[op.Rd] = mv
 					c.readyAt[op.Rd] = done
-					t1, t2 := c.taintUntil[op.Rs1], c.taintUntil[op.Rs2]
-					if op.Rs1 == isa.R0 {
-						t1 = 0
+					t := c.taintUntil[op.Rs1]
+					if t2 := c.taintUntil[op.Rs2]; t2 > t {
+						t = t2
 					}
-					if op.Rs2 == isa.R0 {
-						t2 = 0
-					}
-					c.taintUntil[op.Rd] = max(t1, t2)
+					c.taintUntil[op.Rd] = t
 				}
 				c.commit(done)
 
 			case isa.DLoad:
 				c.Stats.Loads++
-				startT := max(c.now, c.ready(op.Rs1))
-				va := c.reg(op.Rs1) + uint64(op.Imm)
-				pa, okA := c.Mem.Resolve(va, op.Size)
+				startT := c.now
+				if r := c.readyAt[op.Rs1]; r > startT {
+					startT = r
+				}
+				va := c.Regs[op.Rs1] + uint64(op.Imm)
+				pa := c.Mem.ResolveFast(va, op.Size)
+				okA := pa != memsim.ResolveMiss
+				if !okA {
+					pa, okA = c.Mem.Resolve(va, op.Size)
+				}
 				if !okA {
 					res.Fault = true
 					res.FaultPC, res.FaultVA = op.PC, va
@@ -265,7 +229,10 @@ func (c *Core) runThreaded(pc uint64, maxInsts int, fetchSlot float64, res *RunR
 						}
 					}
 				}
-				lat, _ := c.H.AccessData(pa, true)
+				lat := c.l0DataFast(pa)
+				if lat < 0 {
+					lat = c.l0DataSlow(pa)
+				}
 				v := c.Mem.LoadPA(pa, op.Size)
 				done := startT + float64(lat)
 				if op.Rd != isa.R0 {
@@ -281,9 +248,19 @@ func (c *Core) runThreaded(pc uint64, maxInsts int, fetchSlot float64, res *RunR
 
 			case isa.DStore:
 				c.Stats.Stores++
-				startT := max(c.now, c.ready(op.Rs1), c.ready(op.Rs2))
-				va := c.reg(op.Rs1) + uint64(op.Imm)
-				pa, okA := c.Mem.Resolve(va, op.Size)
+				startT := c.now
+				if r := c.readyAt[op.Rs1]; r > startT {
+					startT = r
+				}
+				if r := c.readyAt[op.Rs2]; r > startT {
+					startT = r
+				}
+				va := c.Regs[op.Rs1] + uint64(op.Imm)
+				pa := c.Mem.ResolveFast(va, op.Size)
+				okA := pa != memsim.ResolveMiss
+				if !okA {
+					pa, okA = c.Mem.Resolve(va, op.Size)
+				}
 				if !okA {
 					res.Fault = true
 					res.FaultPC, res.FaultVA = op.PC, va
@@ -295,15 +272,23 @@ func (c *Core) runThreaded(pc uint64, maxInsts int, fetchSlot float64, res *RunR
 					stop = true
 					break
 				}
-				c.Mem.StorePA(pa, op.Size, c.reg(op.Rs2))
-				c.H.AccessData(pa, true)
+				c.Mem.StorePA(pa, op.Size, c.Regs[op.Rs2])
+				if c.l0DataFast(pa) < 0 {
+					c.l0DataSlow(pa)
+				}
 				c.commit(startT + 1)
 
 			case isa.DBranch:
 				c.Stats.Branches++
-				startT := max(c.now+execDelay, c.ready(op.Rs1), c.ready(op.Rs2))
+				startT := c.now + execDelay
+				if r := c.readyAt[op.Rs1]; r > startT {
+					startT = r
+				}
+				if r := c.readyAt[op.Rs2]; r > startT {
+					startT = r
+				}
 				resolve := startT + 1
-				taken := isa.EvalCond(op.CK, c.reg(op.Rs1), c.reg(op.Rs2))
+				taken := isa.EvalCond(op.CK, c.Regs[op.Rs1], c.Regs[op.Rs2])
 				predicted := c.BP.Cond.Predict(op.PC)
 				c.BP.Cond.Update(op.PC, taken)
 				if c.specUntil < resolve {
@@ -344,9 +329,12 @@ func (c *Core) runThreaded(pc uint64, maxInsts int, fetchSlot float64, res *RunR
 
 			case isa.DICall, isa.DIJmp:
 				c.Stats.Branches++
-				startT := max(c.now+execDelay, c.ready(op.Rs1))
+				startT := c.now + execDelay
+				if r := c.readyAt[op.Rs1]; r > startT {
+					startT = r
+				}
 				resolve := startT + 1
-				actual := c.reg(op.Rs1)
+				actual := c.Regs[op.Rs1]
 				if c.specUntil < resolve {
 					c.specUntil = resolve
 				}
@@ -384,7 +372,7 @@ func (c *Core) runThreaded(pc uint64, maxInsts int, fetchSlot float64, res *RunR
 						c.squashWindow(op.PC, predicted, resolve)
 					}
 					c.commit(resolve)
-					res.Ret = c.reg(isa.R1)
+					res.Ret = c.Regs[isa.R1]
 					stop = true
 					break
 				}
@@ -410,10 +398,33 @@ func (c *Core) runThreaded(pc uint64, maxInsts int, fetchSlot float64, res *RunR
 
 			case isa.DHalt:
 				c.commit(c.now)
-				res.Ret = c.reg(isa.R1)
+				res.Ret = c.Regs[isa.R1]
 				stop = true
 			}
 
+			if alu {
+				// Shared single-cycle ALU tail: writeback, readiness, taint
+				// propagation, commit — the interpreter's OpALU epilogue with
+				// the R0 reads folded away by the scoreboard invariant above.
+				startT := c.now
+				if r := c.readyAt[op.Rs1]; r > startT {
+					startT = r
+				}
+				if r := c.readyAt[op.Rs2]; r > startT {
+					startT = r
+				}
+				done := startT + 1
+				if op.Rd != isa.R0 {
+					c.Regs[op.Rd] = v
+					c.readyAt[op.Rd] = done
+					t := c.taintUntil[op.Rs1]
+					if t2 := c.taintUntil[op.Rs2]; t2 > t {
+						t = t2
+					}
+					c.taintUntil[op.Rd] = t
+				}
+				c.commit(done)
+			}
 			if c.stepHook != nil {
 				c.stepHook(op.PC)
 			}

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"repro/internal/bbcache"
 	"repro/internal/isa"
 	"repro/internal/memsim"
 	"repro/internal/obs"
@@ -40,6 +41,15 @@ func (c *Core) runTransientChecked(pc uint64, budget int, shadowEnd float64, brP
 // Register and call-stack state is shadowed; the predictors are consulted
 // but not updated (wrong-path predictor updates are a second-order effect
 // the model omits).
+//
+// Instruction sourcing is two-tier, like the committed path: when a decoded
+// program is attached and the core is in kernel mode, the wrong path walks
+// internal/bbcache's pre-decoded blocks read-only (decoding is pure, so a
+// DOp stream is observably identical to re-decoding each fetch — the
+// decoded-transient differential suite pins it); user mode, block misses,
+// and undecodable words fall back to fetch+DecodeInst one instruction at a
+// time. Policies, observation hooks, and squash semantics are exactly the
+// interpretive path's: only the decode work is hoisted.
 func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
 	if budget <= 0 {
 		return
@@ -48,149 +58,178 @@ func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
 	var poisoned [isa.NumRegs]bool
 	var tainted [isa.NumRegs]bool
 	regs = c.Regs
+	// Pin the R0 invariants locally: slot 0 of each shadow array is zero and
+	// wr never writes it, so operand reads below are direct array indexing
+	// with no zero-register special case.
+	regs[0] = 0
 	for r := 1; r < isa.NumRegs; r++ {
 		tainted[r] = c.taintUntil[r] > c.now
 	}
-	if c.tbuf == nil {
-		c.tbuf = make(map[uint64]transientStore)
-	} else {
-		clear(c.tbuf)
-	}
-	storeBuf := c.tbuf
+	c.tbuf = c.tbuf[:0]
 	// Hoisted optional-interface lookup: one assertion per squash, not one
 	// per wrong-path store.
 	storeGate, _ := c.Policy.(TransientStoreGate)
 	stack := c.tstack[:0]
 	defer func() { c.tstack = stack[:0] }()
 
+	wr := func(r isa.Reg, v uint64, p, t bool) {
+		if r != isa.R0 {
+			regs[r] = v
+			poisoned[r] = p
+			tainted[r] = t
+		}
+	}
+
+	// useProg is loop-invariant: the mode cannot flip inside one squash
+	// window (EnterKernel/ExitKernel are never on a wrong path).
+	useProg := c.prog != nil && c.kernelMode
+	// polUnsafe mirrors runThreaded's short-circuit: AllowAll.OnTransmit is
+	// a stateless Allow, so under the UNSAFE baseline the Access scratch
+	// fill and interface call fold away with no simulated-state effect.
+	_, polUnsafe := c.Policy.(AllowAll)
+	var blk *bbcache.Block
+	var bi int
+	var dec isa.DOp
+
 	for n := 0; n < budget; n++ {
-		inst := c.fetch(pc)
-		if inst == nil || (!c.kernelMode && memsimIsKernel(pc)) {
-			return // transient fetch fault (or SMEP): quiet squash
+		var op *isa.DOp
+		if blk != nil && bi < len(blk.Ops) && blk.Ops[bi].PC == pc {
+			op = &blk.Ops[bi]
+			bi++
+		} else {
+			blk = nil
+			if useProg {
+				if b := c.prog.BlockAt(pc); b != nil {
+					blk, bi = b, 1
+					op = &blk.Ops[0]
+				}
+			}
+			if op == nil {
+				inst := c.fetch(pc)
+				if inst == nil || (!c.kernelMode && memsimIsKernel(pc)) {
+					return // transient fetch fault (or SMEP): quiet squash
+				}
+				dec = isa.DecodeInst(inst, pc)
+				op = &dec
+			}
 		}
 		c.Stats.TransientInsts++
 		next := pc + isa.InstBytes
 
-		rd := func(r isa.Reg) uint64 {
-			if r == isa.R0 {
-				return 0
-			}
-			return regs[r]
-		}
-		bad := func(r isa.Reg) bool { return r != isa.R0 && poisoned[r] }
-		tnt := func(r isa.Reg) bool { return r != isa.R0 && tainted[r] }
-		wr := func(r isa.Reg, v uint64, p, t bool) {
-			if r != isa.R0 {
-				regs[r] = v
-				poisoned[r] = p
-				tainted[r] = t
-			}
-		}
+		switch op.Kind {
+		case isa.DNop:
 
-		switch inst.Op {
-		case isa.OpNop:
-
-		case isa.OpALU:
-			if inst.AK == isa.AMul {
+		case isa.DMul:
+			if !polUnsafe {
 				c.acc = Access{
 					PC: pc, IsLoad: false, Ctx: c.ctx, Kernel: c.kernelMode,
 					Transient:   true,
-					AddrTainted: tnt(inst.Rs1) || tnt(inst.Rs2),
-				}
-				if bad(inst.Rs1) || bad(inst.Rs2) {
-					wr(inst.Rd, 0, true, true)
-					break
-				}
-				if c.Policy.OnTransmit(&c.acc) != Allow {
-					c.Stats.TransientFences++
-					wr(inst.Rd, 0, true, true)
-					break
-				}
-				if c.Obs != nil {
-					// A transient multiply that issues occupies an execution
-					// port for operand-dependent cycles; fold both operands
-					// into the observable payload.
-					c.Obs.Record(obs.Event{
-						Kind: obs.KindPort, PC: pc,
-						Obs: rd(inst.Rs1) ^ rotl32(rd(inst.Rs2)),
-					})
+					AddrTainted: tainted[op.Rs1] || tainted[op.Rs2],
 				}
 			}
-			if inst.AK != isa.AMovImm && (bad(inst.Rs1) || bad(inst.Rs2)) {
-				wr(inst.Rd, 0, true, true)
+			if poisoned[op.Rs1] || poisoned[op.Rs2] {
+				wr(op.Rd, 0, true, true)
 				break
 			}
-			v := isa.EvalALU(inst.AK, rd(inst.Rs1), rd(inst.Rs2), inst.Imm)
-			t := inst.AK != isa.AMovImm && (tnt(inst.Rs1) || tnt(inst.Rs2))
-			wr(inst.Rd, v, false, t)
+			if !polUnsafe && c.Policy.OnTransmit(&c.acc) != Allow {
+				c.Stats.TransientFences++
+				wr(op.Rd, 0, true, true)
+				break
+			}
+			if c.Obs != nil {
+				// A transient multiply that issues occupies an execution
+				// port for operand-dependent cycles; fold both operands
+				// into the observable payload.
+				c.Obs.Record(obs.Event{
+					Kind: obs.KindPort, PC: pc,
+					Obs: regs[op.Rs1] ^ rotl32(regs[op.Rs2]),
+				})
+			}
+			v := isa.EvalALU(isa.AMul, regs[op.Rs1], regs[op.Rs2], op.Imm)
+			wr(op.Rd, v, false, tainted[op.Rs1] || tainted[op.Rs2])
 
-		case isa.OpLoad:
-			if bad(inst.Rs1) {
+		case isa.DMovImm:
+			// Immediates cannot be poisoned or tainted.
+			wr(op.Rd, isa.EvalALU(isa.AMovImm, regs[op.Rs1], regs[op.Rs2], op.Imm), false, false)
+
+		case isa.DMov, isa.DMovZ, isa.DAdd, isa.DAddImm, isa.DAddImmZ,
+			isa.DSub, isa.DAnd, isa.DAndImm, isa.DAndImmZ, isa.DOr,
+			isa.DXor, isa.DShlImm, isa.DShlImmZ, isa.DShrImm,
+			isa.DShrImmZ, isa.DALUGen:
+			if poisoned[op.Rs1] || poisoned[op.Rs2] {
+				wr(op.Rd, 0, true, true)
+				break
+			}
+			v := isa.EvalALU(op.AK, regs[op.Rs1], regs[op.Rs2], op.Imm)
+			wr(op.Rd, v, false, tainted[op.Rs1] || tainted[op.Rs2])
+
+		case isa.DLoad:
+			if poisoned[op.Rs1] {
 				// Address unknown: the load cannot issue. Its destination
 				// is poisoned, so dependent transmitters are dead too.
-				wr(inst.Rd, 0, true, true)
+				wr(op.Rd, 0, true, true)
 				break
 			}
-			va := rd(inst.Rs1) + uint64(inst.Imm)
-			v, st := c.specLoad(pc, va, inst.Size, tnt(inst.Rs1))
+			va := regs[op.Rs1] + uint64(op.Imm)
+			v, st := c.specLoad(pc, va, op.Size, tainted[op.Rs1])
 			switch st {
 			case specLoadBlocked:
-				wr(inst.Rd, 0, true, true)
+				wr(op.Rd, 0, true, true)
 			case specLoadFault:
 				// Transient fault: the access is squashed before
 				// architectural effect; stop the wrong path here.
 				return
 			default:
-				wr(inst.Rd, v, false, true)
+				wr(op.Rd, v, false, true)
 			}
 
-		case isa.OpStore:
-			if bad(inst.Rs1) || bad(inst.Rs2) {
+		case isa.DStore:
+			if poisoned[op.Rs1] || poisoned[op.Rs2] {
 				break
 			}
-			va := rd(inst.Rs1) + uint64(inst.Imm)
-			if storeGate != nil && storeGate.BlockTransientStore(tnt(inst.Rs2)) {
+			va := regs[op.Rs1] + uint64(op.Imm)
+			if storeGate != nil && storeGate.BlockTransientStore(tainted[op.Rs2]) {
 				c.Stats.TransientFences++
 				break
 			}
 			if c.Obs != nil {
 				// The buffered (address, value) pair is what an MDS-style
 				// sampler reads back, so both are observable payload.
-				c.Obs.Record(obs.Event{Kind: obs.KindSBuf, PC: pc, Addr: va, Obs: rd(inst.Rs2)})
+				c.Obs.Record(obs.Event{Kind: obs.KindSBuf, PC: pc, Addr: va, Obs: regs[op.Rs2]})
 			}
-			storeBuf[va] = transientStore{val: rd(inst.Rs2), size: inst.Size}
+			c.tbuf = append(c.tbuf, transientStore{va: va, val: regs[op.Rs2], size: op.Size})
 
-		case isa.OpBranch:
-			if bad(inst.Rs1) || bad(inst.Rs2) {
+		case isa.DBranch:
+			if poisoned[op.Rs1] || poisoned[op.Rs2] {
 				// Outcome unknown: follow the predictor.
 				if c.BP.Cond.Predict(pc) {
-					next = inst.Target
+					next = op.Target
 				}
-			} else if isa.EvalCond(inst.CK, rd(inst.Rs1), rd(inst.Rs2)) {
-				next = inst.Target
+			} else if isa.EvalCond(op.CK, regs[op.Rs1], regs[op.Rs2]) {
+				next = op.Target
 			}
 
-		case isa.OpJmp:
-			next = inst.Target
+		case isa.DJmp:
+			next = op.Target
 
-		case isa.OpCall:
+		case isa.DCall:
 			stack = append(stack, next)
-			next = inst.Target
+			next = op.Target
 
-		case isa.OpICall:
-			if bad(inst.Rs1) {
+		case isa.DICall:
+			if poisoned[op.Rs1] {
 				return
 			}
 			stack = append(stack, next)
-			next = rd(inst.Rs1)
+			next = regs[op.Rs1]
 
-		case isa.OpIJmp:
-			if bad(inst.Rs1) {
+		case isa.DIJmp:
+			if poisoned[op.Rs1] {
 				return
 			}
-			next = rd(inst.Rs1)
+			next = regs[op.Rs1]
 
-		case isa.OpRet:
+		case isa.DRet:
 			if len(stack) > 0 {
 				next = stack[len(stack)-1]
 				stack = stack[:len(stack)-1]
@@ -200,24 +239,43 @@ func (c *Core) runTransient(pc uint64, budget int, shadowEnd float64) {
 				return
 			}
 
-		case isa.OpFence:
+		case isa.DFence:
 			// lfence on the wrong path stops further transient execution
 			// past it.
 			return
 
-		case isa.OpHalt:
+		case isa.DHalt:
 			return
 
 		default:
+			// DBad: an undecodable word, exactly where the interpreter
+			// would fault. Quiet squash.
 			return
 		}
 		pc = next
 	}
 }
 
+// transientStore is one buffered wrong-path store. The buffer is a flat
+// slice scanned newest-first: squash windows are short and rarely store
+// more than a handful of entries, so a linear scan beats a map — and
+// emptying it is a reslice instead of a mapclear per window.
 type transientStore struct {
+	va   uint64
 	val  uint64
 	size uint8
+}
+
+// tbufLookup finds the newest buffered store at va (store-to-load
+// forwarding within the wrong path), preserving the overwrite semantics
+// the map gave: the latest store to an address wins.
+func (c *Core) tbufLookup(va uint64) (transientStore, bool) {
+	for i := len(c.tbuf) - 1; i >= 0; i-- {
+		if c.tbuf[i].va == va {
+			return c.tbuf[i], true
+		}
+	}
+	return transientStore{}, false
 }
 
 // specLoadStatus is specLoad's outcome: the value is usable, the policy
@@ -240,6 +298,25 @@ const (
 // transient-execution code reads simulated memory directly, so a new
 // speculation feature cannot bypass the defenses this path consults.
 func (c *Core) specLoad(pc, va uint64, size uint8, addrTainted bool) (uint64, specLoadStatus) {
+	// UNSAFE-baseline fast path: with AllowAll the policy consult is a
+	// stateless Allow and, with no recorder attached, the L1 probe feeds
+	// nothing — so the Access fill, interface call, and Lookup all fold
+	// away. Fault ordering is unchanged: AllowAll never blocks, so the
+	// original path would reach the same specLoadFault/OK outcomes.
+	if _, unsafe := c.Policy.(AllowAll); unsafe && c.Obs == nil {
+		pa, okA := c.Mem.Resolve(va, size)
+		if !okA {
+			return 0, specLoadFault
+		}
+		c.H.AccessData(pa, false)
+		if c.SecCheck != nil {
+			c.SecCheck.TransientFill(c.ctx, pc, va, c.kernelMode)
+		}
+		if s, okS := c.tbufLookup(va); okS && s.size == size {
+			return s.val, specLoadOK
+		}
+		return c.Mem.LoadPA(pa, size), specLoadOK
+	}
 	c.acc = Access{
 		PC: pc, VA: va, IsLoad: true, Ctx: c.ctx, Kernel: c.kernelMode,
 		Transient:   true,
@@ -270,7 +347,7 @@ func (c *Core) specLoad(pc, va uint64, size uint8, addrTainted bool) (uint64, sp
 	if c.SecCheck != nil {
 		c.SecCheck.TransientFill(c.ctx, pc, va, c.kernelMode)
 	}
-	if s, okS := c.tbuf[va]; okS && s.size == size {
+	if s, okS := c.tbufLookup(va); okS && s.size == size {
 		return s.val, specLoadOK
 	}
 	return c.Mem.LoadPA(pa, size), specLoadOK

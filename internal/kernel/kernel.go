@@ -302,13 +302,13 @@ func (k *Kernel) switchTo(t *Task) {
 	if k.current == t {
 		// Re-assert the hardware context: PoC code may have run the core
 		// under another ASID in between.
-		k.Mem.Tr = t.AS
+		k.Mem.SetTranslator(t.AS, t.AS.TranslationEpoch())
 		k.Core.SetCtx(t.Ctx())
 		return
 	}
 	prev := k.current
 	k.current = t
-	k.Mem.Tr = t.AS
+	k.Mem.SetTranslator(t.AS, t.AS.TranslationEpoch())
 	k.Core.SetCtx(t.Ctx())
 	if prev != nil {
 		k.Stats.ContextSwitch++
@@ -338,6 +338,7 @@ func (k *Kernel) runKernelVA(t *Task, va uint64) cpu.RunResult {
 		t.AS.FlushTLB()
 	}
 	t.AS.InKernel = true
+	k.Mem.SetKernelMode(true)
 	k.Core.EnterKernel()
 	k.Core.Regs[10] = t.TaskVA()
 	k.Core.Regs[11] = t.TaskVA() + kimage.TaskCtxOff
@@ -352,6 +353,7 @@ func (k *Kernel) runKernelVA(t *Task, va uint64) cpu.RunResult {
 	}
 	k.Core.ExitKernel()
 	t.AS.InKernel = false
+	k.Mem.SetKernelMode(false)
 	if kpti {
 		t.AS.FlushTLB()
 	}

@@ -1,0 +1,57 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kimage"
+)
+
+// TestResolveLookasideUnderSyscallChurn drives the full kernel syscall
+// surface — mmap/munmap/brk growth, fork, context-heavy getpid/write loops —
+// and after every batch checks the memsim resolve lookaside against the
+// translator ground truth. This is the system-level companion to the
+// memsim-level differential: here the generation bumps come from the real
+// vmm epoch plumbing (MapPage, UnmapPage, FlushTLB, ReleasePageTables,
+// Vmalloc) rather than a synthetic counter.
+func TestResolveLookasideUnderSyscallChurn(t *testing.T) {
+	k := newKernel(t)
+	p := mustProc(t, k, "churn-a")
+	q := mustProc(t, k, "churn-b")
+	rng := rand.New(rand.NewSource(7))
+
+	var regions []uint64
+	for batch := 0; batch < 40; batch++ {
+		tk := p
+		if rng.Intn(2) == 1 {
+			tk = q
+		}
+		switch rng.Intn(6) {
+		case 0:
+			va, err := k.Syscall(tk, kimage.NRMmap, 4096, 1)
+			if err == nil {
+				regions = append(regions, va)
+			}
+		case 1:
+			if len(regions) > 0 {
+				i := rng.Intn(len(regions))
+				k.Syscall(tk, kimage.NRMunmap, regions[i], 4096)
+				regions = append(regions[:i], regions[i+1:]...)
+			}
+		case 2:
+			k.Syscall(tk, kimage.NRBrk, 4096)
+		case 3:
+			pid, err := k.Syscall(tk, kimage.NRFork)
+			if err == nil {
+				k.ExitPID(int(pid))
+			}
+		default:
+			for i := 0; i < 4; i++ {
+				k.Syscall(tk, kimage.NRGetpid)
+			}
+		}
+		if err := k.Mem.VerifyLookaside(); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+	}
+}

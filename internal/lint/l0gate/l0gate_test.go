@@ -1,0 +1,12 @@
+package l0gate_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/l0gate"
+)
+
+func TestL0Gate(t *testing.T) {
+	analysistest.Run(t, "testdata/fixture", l0gate.Analyzer, "./...")
+}

@@ -1,0 +1,24 @@
+// Package cache models the real cache package's L0-facing surface: the
+// generation observation and the slot re-hit API the gate confines.
+package cache
+
+type Cache struct {
+	clock uint64
+	gens  [4]uint64
+	mru   [4]int32
+}
+
+// GenAt is the ungated observation: pure read, no state change.
+func (c *Cache) GenAt(addr uint64) uint64 { return c.gens[addr%4] }
+
+// CommitHit re-applies a committed hit to slot. Gated.
+func (c *Cache) CommitHit(slot int32) { c.clock++; c.mru[0] = slot }
+
+// MRUSlot reports the MRU way's dense slot index. Gated.
+func (c *Cache) MRUSlot(addr uint64) (int32, bool) { return c.mru[addr%4], true }
+
+// Access is the full committed access everything else must use.
+func (c *Cache) Access(addr uint64, update bool) bool {
+	c.clock++
+	return update
+}

@@ -358,6 +358,14 @@ type Translator interface {
 type Mem struct {
 	Phys *Phys
 	Tr   Translator
+
+	// Resolve lookaside (lookaside.go): trGen points at the active
+	// translator's generation counter (vmm.Kmaps.Epoch via SetTranslator),
+	// kernOK mirrors KernelAllowed for the inline privilege check, lk is
+	// the memoized page table.
+	trGen  *uint64
+	kernOK bool
+	lk     [lkSize]lkEntry
 }
 
 // Resolve translates va for an access of the given size, applying the
@@ -365,7 +373,14 @@ type Mem struct {
 // CPU core uses the returned physical address to index the (physically
 // indexed) caches.
 func (m *Mem) Resolve(va uint64, size uint8) (pa uint64, ok bool) {
-	return m.translateChecked(va, uint64(size))
+	if pa = m.ResolveFast(va, size); pa != ResolveMiss {
+		return pa, true
+	}
+	pa, ok = m.translateChecked(va, uint64(size))
+	if ok {
+		m.lkInstall(va, pa)
+	}
+	return pa, ok
 }
 
 // Load reads size (1 or 8) bytes at va. ok=false means the access faults;

@@ -103,7 +103,10 @@ func (t *tlb) flush() {
 // page-table switch, even though the privilege check already makes a stale
 // hit unreachable — conservative flushing keeps the cache's correctness
 // argument local.
-func (as *AddrSpace) FlushTLB() { as.tlb.flush() }
+func (as *AddrSpace) FlushTLB() {
+	as.tlb.flush()
+	as.bumpEpoch()
+}
 
 // TLBStats reports the address space's translation-cache counters.
 func (as *AddrSpace) TLBStats() TLBStats { return as.tlb.stats }
