@@ -5,12 +5,12 @@ GO ?= go
 # drops combined coverage below this.
 COVER_MIN ?= 70
 
-.PHONY: build test vet race fuzzseed lint cover check bench benchsmoke benchdiff benchdiffsmoke relsecsmoke lockstepsmoke taillatsmoke clean
+.PHONY: build test vet race fuzzseed lint cover check bench benchsmoke benchdiff benchdiffsmoke relsecsmoke lockstepsmoke taillatsmoke staticsmoke clean
 
 # Packages carrying the host-perf microbenchmarks (cache access, vmm
 # translate, cpu issue loop, kernel syscall round-trip, app drive path,
 # open-loop replay + digest).
-BENCH_PKGS = ./internal/cache/ ./internal/vmm/ ./internal/cpu/ ./internal/kernel/ ./internal/apps/ ./internal/loadgen/
+BENCH_PKGS = ./internal/cache/ ./internal/vmm/ ./internal/cpu/ ./internal/kernel/ ./internal/apps/ ./internal/loadgen/ ./internal/staticflow/
 
 build:
 	$(GO) build ./...
@@ -46,8 +46,9 @@ cover:
 # + fuzz seed corpus + a one-iteration benchmark smoke run (guards the
 # bench layer against bit-rot without paying for real measurement) + a
 # deterministic benchmark-coverage diff against the committed perf
-# trajectory + end-to-end relative-security and tail-latency smokes.
-check: vet lint race fuzzseed lockstepsmoke benchsmoke benchdiffsmoke relsecsmoke taillatsmoke
+# trajectory + end-to-end relative-security, tail-latency, and static-
+# verifier smokes.
+check: vet lint race fuzzseed lockstepsmoke benchsmoke benchdiffsmoke relsecsmoke taillatsmoke staticsmoke
 
 # lockstepsmoke runs the bounded threaded-vs-interpreted differential
 # oracle at machine level: one scheme, a LEBench slice, one census gadget,
@@ -75,6 +76,18 @@ taillatsmoke:
 	@! grep -q '!!' /tmp/taillats.out
 	@rm -f /tmp/taillats.out
 	@echo taillatsmoke: ok
+
+# staticsmoke runs the static speculative-leak verifier end-to-end through
+# the CLI and asserts its three load-bearing verdicts: the census soundness
+# invariant holds, the relsec witness is statically flagged, and the
+# synthesized fence set passes the differential oracle trace-equal.
+staticsmoke:
+	$(GO) run ./cmd/perspective-sim -exp staticflow > /tmp/staticflow.out
+	@grep -q 'soundness HOLDS' /tmp/staticflow.out
+	@grep -q 'statically flagged: YES' /tmp/staticflow.out
+	@grep -q 'trace-equal under the static fences' /tmp/staticflow.out
+	@rm -f /tmp/staticflow.out
+	@echo staticsmoke: ok
 
 # bench produces BENCH_hostperf.json: micro ns/op per hot function plus an
 # end-to-end `-exp all` cells/sec and simulated-MIPS measurement.

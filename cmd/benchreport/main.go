@@ -33,6 +33,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -107,8 +108,10 @@ type ExpTiming struct {
 
 // stableExclude names experiments outside the stable cells/sec denominator:
 // added after the original baseline with a per-cell cost so different that
-// including them breaks the series (taillats: 10⁵-request replay per cell).
-var stableExclude = map[string]bool{"taillats": true}
+// including them breaks the series (taillats: 10⁵-request replay per cell;
+// staticflow: whole-image fixpoint plus a relsec verification sweep). Their
+// wall time is still recorded under per_experiment.
+var stableExclude = map[string]bool{"taillats": true, "staticflow": true}
 
 // SimProbe is the simulated-instruction throughput measurement.
 type SimProbe struct {
@@ -134,7 +137,7 @@ type TaillatsProbe struct {
 
 var benchPkgs = []string{
 	"./internal/cache/", "./internal/vmm/", "./internal/cpu/", "./internal/kernel/",
-	"./internal/apps/", "./internal/loadgen/",
+	"./internal/apps/", "./internal/loadgen/", "./internal/staticflow/",
 }
 
 func main() {
@@ -167,7 +170,7 @@ func main() {
 	}
 	rep := Report{Schema: 1, GoVersion: runtime.Version(), Benchtime: bt}
 
-	micro, err := runMicro(*benchtime)
+	micro, err := runMicro(*benchtime, microRepeats)
 	if err != nil {
 		fatal(err)
 	}
@@ -222,6 +225,13 @@ func main() {
 // scheduling noise.
 const regressionTolerance = 1.25
 
+// diffRetries is how many times an over-threshold benchmark is re-measured
+// before the gate fails. A structural regression reproduces on every
+// re-run; a shared-host load spike (which can inflate a whole measurement
+// pass by 50%) does not, so confirm-by-retry keeps the 25% gate meaningful
+// without loosening it.
+const diffRetries = 2
+
 // runDiff re-runs the micro benchmarks and compares them name-by-name
 // against a committed report. namesOnly skips the timing gate and only
 // verifies that every committed benchmark still exists — a deterministic
@@ -238,7 +248,12 @@ func runDiff(path, benchtime string, namesOnly bool) error {
 	if len(base.Micro) == 0 {
 		return fmt.Errorf("%s: no micro benchmarks to diff against", path)
 	}
-	fresh, err := runMicro(benchtime)
+	// The names-only smoke doesn't gate on timing, so one repeat suffices.
+	repeats := microRepeats
+	if namesOnly {
+		repeats = 1
+	}
+	fresh, err := runMicro(benchtime, repeats)
 	if err != nil {
 		return err
 	}
@@ -246,24 +261,59 @@ func runDiff(path, benchtime string, namesOnly bool) error {
 	for _, m := range fresh {
 		freshBy[m.Name] = m
 	}
-	var missing, regressed []string
+
+	var missing []string
 	for _, m := range base.Micro {
-		f, ok := freshBy[m.Name]
-		if !ok {
+		if _, ok := freshBy[m.Name]; !ok {
 			missing = append(missing, m.Name)
-			continue
 		}
-		if namesOnly || m.NsPerOp <= 0 {
-			continue
+	}
+	overThreshold := func() []string {
+		var out []string
+		for _, m := range base.Micro {
+			f, ok := freshBy[m.Name]
+			if !ok || m.NsPerOp <= 0 {
+				continue
+			}
+			if f.NsPerOp/m.NsPerOp > regressionTolerance {
+				out = append(out, m.Name)
+			}
 		}
-		ratio := f.NsPerOp / m.NsPerOp
-		status := "ok"
-		if ratio > regressionTolerance {
-			status = "REGRESSED"
-			regressed = append(regressed, m.Name)
+		return out
+	}
+
+	var regressed []string
+	if !namesOnly {
+		// Confirm-by-retry: re-measure only the over-threshold benchmarks
+		// and fold the minimum in; fail on what still exceeds the gate.
+		regressed = overThreshold()
+		for attempt := 0; len(regressed) > 0 && attempt < diffRetries; attempt++ {
+			fmt.Printf("benchdiff: re-measuring %d over-threshold benchmark(s) to rule out host noise: %v\n",
+				len(regressed), regressed)
+			again, err := runMicro(benchtime, microRepeats, regressed...)
+			if err != nil {
+				return err
+			}
+			for _, m := range again {
+				if prev, ok := freshBy[m.Name]; !ok || m.NsPerOp < prev.NsPerOp {
+					freshBy[m.Name] = m
+				}
+			}
+			regressed = overThreshold()
 		}
-		fmt.Printf("%-55s %12.1f -> %12.1f ns/op  %+6.1f%%  %s\n",
-			m.Name, m.NsPerOp, f.NsPerOp, 100*(ratio-1), status)
+		for _, m := range base.Micro {
+			f, ok := freshBy[m.Name]
+			if !ok || m.NsPerOp <= 0 {
+				continue
+			}
+			ratio := f.NsPerOp / m.NsPerOp
+			status := "ok"
+			if ratio > regressionTolerance {
+				status = "REGRESSED"
+			}
+			fmt.Printf("%-55s %12.1f -> %12.1f ns/op  %+6.1f%%  %s\n",
+				m.Name, m.NsPerOp, f.NsPerOp, 100*(ratio-1), status)
+		}
 	}
 	if namesOnly {
 		fmt.Printf("benchdiff: %d committed benchmark(s), %d present\n",
@@ -276,6 +326,17 @@ func runDiff(path, benchtime string, namesOnly bool) error {
 		f, err := bestTaillatsProbe()
 		if err != nil {
 			return err
+		}
+		for attempt := 0; base.Taillats.ReqPerSec/f.ReqPerSec > regressionTolerance &&
+			attempt < diffRetries; attempt++ {
+			fmt.Printf("benchdiff: re-measuring taillats probe to rule out host noise\n")
+			again, err := bestTaillatsProbe()
+			if err != nil {
+				return err
+			}
+			if again.ReqPerSec > f.ReqPerSec {
+				f = again
+			}
 		}
 		ratio := base.Taillats.ReqPerSec / f.ReqPerSec
 		status := "ok"
@@ -290,8 +351,8 @@ func runDiff(path, benchtime string, namesOnly bool) error {
 		return fmt.Errorf("%d committed benchmark(s) missing from fresh run: %v", len(missing), missing)
 	}
 	if len(regressed) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed >%d%% ns/op: %v",
-			len(regressed), int(100*(regressionTolerance-1)), regressed)
+		return fmt.Errorf("%d benchmark(s) regressed >%d%% ns/op after %d re-measurement(s): %v",
+			len(regressed), int(100*(regressionTolerance-1)), diffRetries, regressed)
 	}
 	return nil
 }
@@ -302,14 +363,49 @@ var (
 	memRe   = regexp.MustCompile(`([0-9.]+) B/op\s+([0-9.]+) allocs/op`)
 )
 
+// microRepeats is the -count passed to timing-sensitive micro runs; each
+// benchmark's ns/op is the minimum across repeats. A shared host's transient
+// noise only ever inflates a measurement, so min-of-N on both sides of the
+// diff is what keeps the 25% gate from flapping on load spikes.
+const microRepeats = 3
+
 // runMicro shells out to `go test -bench` (the toolchain is a build-time
-// dependency of this repo anyway) and parses the standard output format.
-func runMicro(benchtime string) ([]Micro, error) {
-	args := []string{"test", "-run=^$", "-bench=.", "-benchmem"}
+// dependency of this repo anyway) and parses the standard output format,
+// folding `count` repeats of each benchmark to the per-name minimum. With
+// `only` names (the "pkg/BenchmarkFunc[/sub]" report form), the run is
+// restricted to those benchmarks and their packages.
+func runMicro(benchtime string, count int, only ...string) ([]Micro, error) {
+	bench, pkgs := ".", benchPkgs
+	if len(only) > 0 {
+		fns, ps := map[string]bool{}, map[string]bool{}
+		for _, name := range only {
+			parts := strings.SplitN(name, "/", 3)
+			if len(parts) < 2 {
+				continue
+			}
+			ps["./internal/"+parts[0]+"/"] = true
+			fns[parts[1]] = true
+		}
+		var fnAlt, pkgList []string
+		for fn := range fns {
+			fnAlt = append(fnAlt, fn)
+		}
+		for p := range ps {
+			pkgList = append(pkgList, p)
+		}
+		sort.Strings(fnAlt)
+		sort.Strings(pkgList)
+		bench = "^(" + strings.Join(fnAlt, "|") + ")$"
+		pkgs = pkgList
+	}
+	args := []string{"test", "-run=^$", "-bench=" + bench, "-benchmem"}
 	if benchtime != "" {
 		args = append(args, "-benchtime="+benchtime)
 	}
-	args = append(args, benchPkgs...)
+	if count > 1 {
+		args = append(args, fmt.Sprintf("-count=%d", count))
+	}
+	args = append(args, pkgs...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	outb, err := cmd.Output()
@@ -317,6 +413,7 @@ func runMicro(benchtime string) ([]Micro, error) {
 		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
 	}
 	var micro []Micro
+	byName := map[string]int{}
 	pkg := ""
 	for _, line := range strings.Split(string(outb), "\n") {
 		if m := pkgRe.FindStringSubmatch(line); m != nil {
@@ -333,6 +430,13 @@ func runMicro(benchtime string) ([]Micro, error) {
 			mc.BytesPerOp, _ = strconv.ParseFloat(mm[1], 64)
 			mc.AllocsPerOp, _ = strconv.ParseFloat(mm[2], 64)
 		}
+		if i, ok := byName[mc.Name]; ok {
+			if mc.NsPerOp < micro[i].NsPerOp {
+				micro[i] = mc
+			}
+			continue
+		}
+		byName[mc.Name] = len(micro)
 		micro = append(micro, mc)
 	}
 	if len(micro) == 0 {

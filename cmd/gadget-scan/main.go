@@ -3,14 +3,22 @@
 // auditing acceleration. It prints the findings census, the campaign cost,
 // and (with -bound) the discovery-rate speedup of Figure 9.1.
 //
+// With -static it instead runs the sound whole-image abstract interpreter
+// (internal/staticflow): the static census, the scanner cross-check, and
+// the synthesized fence sites, with -json emitting a vet-style object
+// (function -> channel -> diagnostics, parallel to perspective-lint -json).
+//
 // Usage:
 //
 //	gadget-scan                      # whole-kernel campaign
 //	gadget-scan -bound nginx         # ISV-bounded campaign + speedup
 //	gadget-scan -top 10              # show the first N findings
+//	gadget-scan -static              # sound static census + fence synthesis
+//	gadget-scan -static -json        # same, machine-readable
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +26,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/scanner"
+	"repro/internal/staticflow"
 )
 
 func main() {
@@ -25,6 +34,8 @@ func main() {
 	scale := flag.String("scale", "quick", "quick or paper")
 	top := flag.Int("top", 5, "findings to print")
 	seed := flag.Int64("seed", 1, "fuzzing campaign seed")
+	static := flag.Bool("static", false, "run the sound static verifier instead of the fuzzing campaign")
+	jsonOut := flag.Bool("json", false, "with -static: emit vet-style JSON")
 	flag.Parse()
 
 	opt := harness.QuickOptions()
@@ -33,6 +44,13 @@ func main() {
 	}
 	opt.Seed = *seed
 	h := harness.New(opt)
+
+	if *static {
+		if err := runStatic(h, *jsonOut, *top); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	whole := h.Graph.WholeKernelClosure()
 	unbounded := scanner.Scan(h.Img, whole, *seed)
@@ -58,6 +76,84 @@ func main() {
 		fmt.Printf("\ndiscovery-rate speedup from ISV bounding: %.2fx (Figure 9.1)\n",
 			scanner.Speedup(bounded, unbounded))
 	}
+}
+
+// runStatic runs the abstract interpreter and reports the census, the
+// per-PC cross-check against the dynamic scanner, and the fence synthesis.
+func runStatic(h *harness.Harness, jsonOut bool, top int) error {
+	rep := staticflow.Analyze(h.Img)
+	if jsonOut {
+		return writeStaticJSON(os.Stdout, h, rep)
+	}
+	m, p, c := rep.Census()
+	fmt.Printf("\n[static] %d functions (%d insts), fixpoint in %d rounds\n",
+		rep.Funcs, rep.Insts, rep.Rounds)
+	fmt.Printf("findings: %d total — %d MDS, %d Port, %d Cache — across %d functions\n",
+		len(rep.Findings), m, p, c, len(rep.GadgetFuncIDs()))
+	for i, f := range rep.Findings {
+		if i >= top {
+			break
+		}
+		fn := h.Img.FuncByID(f.FuncID)
+		fmt.Printf("  %-6s %-28s pc=%#x\n", f.Kind, fn.Name, f.PC)
+	}
+	missing := 0
+	static := map[staticflow.Finding]bool{}
+	for _, f := range rep.Findings {
+		static[f] = true
+	}
+	for _, fd := range scanner.Scan(h.Img, h.Graph.WholeKernelClosure(), h.Opt.Seed).Findings {
+		if !static[staticflow.Finding{FuncID: fd.FuncID, PC: fd.PC, Kind: fd.Kind}] {
+			missing++
+		}
+	}
+	if missing == 0 {
+		fmt.Printf("scanner cross-check: every dynamic finding statically flagged — sound\n")
+	} else {
+		fmt.Printf("scanner cross-check: %d dynamic findings MISSING — SOUNDNESS VIOLATION\n", missing)
+	}
+	fmt.Printf("fence synthesis: %d sites (%d ranges)\n",
+		len(rep.FenceSites), len(staticflow.FenceRanges(rep.FenceSites)))
+	return nil
+}
+
+// staticDiagnostic is one finding in the vet-style JSON tree.
+type staticDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// writeStaticJSON renders function -> channel -> diagnostics, the same
+// two-level shape perspective-lint -json uses (package -> analyzer), plus a
+// "fence" pseudo-channel listing the synthesized sites per function.
+func writeStaticJSON(w *os.File, h *harness.Harness, rep *staticflow.Report) error {
+	tree := map[string]map[string][]staticDiagnostic{}
+	add := func(fn, channel string, d staticDiagnostic) {
+		if tree[fn] == nil {
+			tree[fn] = map[string][]staticDiagnostic{}
+		}
+		tree[fn][channel] = append(tree[fn][channel], d)
+	}
+	for _, f := range rep.Findings {
+		fn := h.Img.FuncByID(f.FuncID)
+		add(fn.Name, strings.ToLower(f.Kind.String()), staticDiagnostic{
+			Posn:    fmt.Sprintf("%s+%#x", fn.Name, f.PC-fn.VA),
+			Message: fmt.Sprintf("%v transmit at pc %#x", f.Kind, f.PC),
+		})
+	}
+	for _, pc := range rep.FenceSites {
+		fn := h.Img.FuncAt(pc)
+		if fn == nil {
+			continue
+		}
+		add(fn.Name, "fence", staticDiagnostic{
+			Posn:    fmt.Sprintf("%s+%#x", fn.Name, pc-fn.VA),
+			Message: fmt.Sprintf("fence the secret-source load at pc %#x", pc),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(tree)
 }
 
 func printReport(h *harness.Harness, name string, rep scanner.Report, top int) {

@@ -2,9 +2,11 @@
 // invariant analyzers: determinism (no ambient time/randomness or unordered
 // map emission in internal/ packages), errwrap (context-wrapped error
 // propagation), specgate (speculative memory access only through the
-// DSV/ISV-checked accessors), and l0gate (the L0 line-lookaside micro-cache
-// reachable only from the committed path). See DESIGN.md §8 and §12 for the
-// rules and the //lint:allow escape hatch.
+// DSV/ISV-checked accessors), l0gate (the L0 line-lookaside micro-cache
+// reachable only from the committed path), and epochgate (the resolve-
+// lookaside epoch discipline: vmm epoch counter, memsim lookaside state, and
+// ResolveFast callers confined to their blessed owners). See DESIGN.md §8
+// and §12 for the rules and the //lint:allow escape hatch.
 //
 // Usage:
 //
@@ -22,6 +24,7 @@ import (
 	"repro/internal/lint"
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/determinism"
+	"repro/internal/lint/epochgate"
 	"repro/internal/lint/errwrap"
 	"repro/internal/lint/l0gate"
 	"repro/internal/lint/load"
@@ -34,6 +37,7 @@ var analyzers = []*analysis.Analyzer{
 	errwrap.Analyzer,
 	specgate.Analyzer,
 	l0gate.Analyzer,
+	epochgate.Analyzer,
 }
 
 func main() {

@@ -76,6 +76,20 @@ func TestDeterminismFig93AcrossJobs(t *testing.T) {
 	})
 }
 
+func TestDeterminismStaticFlowAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-jobs determinism sweep")
+	}
+	requireIdentical(t, "staticflow", func(h *Harness, buf *bytes.Buffer) error {
+		rep, err := h.StaticFlow()
+		if err != nil {
+			return err
+		}
+		PrintStaticFlow(buf, rep)
+		return nil
+	})
+}
+
 func TestDeterminismFaultSweepAcrossJobs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-jobs determinism sweep")

@@ -141,6 +141,23 @@ func TestGoldenPrintTable101(t *testing.T) {
 	checkGolden(t, "table101", buf.Bytes())
 }
 
+func TestGoldenPrintStaticFlow(t *testing.T) {
+	rep := &StaticFlowReport{
+		Funcs: 2590, Insts: 31876, Rounds: 6,
+		StaticFindings: 164, StaticMDS: 81, StaticPort: 51, StaticCache: 32,
+		DynFindings: 112, DynMDS: 55, DynPort: 34, DynCache: 23,
+		MissingDyn: 0, StaticOnly: 52,
+		WitnessGadget: "xusb_ioctl_gadget", WitnessPC: 0xffffffff810005e4,
+		WitnessFlagged: true,
+		StaticSites:    163, DynIters: 163, DynSites: 1450, BlanketSites: 13883,
+		VerifyGadgets: 162, VerifyDiverged: 0,
+		UnsafeCycles: 1000, StaticCycles: 1004, DynamicCycles: 1004, BlanketCycles: 1080,
+	}
+	var buf bytes.Buffer
+	PrintStaticFlow(&buf, rep)
+	checkGolden(t, "staticflow", buf.Bytes())
+}
+
 func TestGoldenPrintFig91(t *testing.T) {
 	rows := []SpeedupRow{
 		{Workload: "LEBench", Unbounded: 12.5, Bounded: 48.9, Speedup: 3.91},

@@ -414,13 +414,6 @@ func (h *Harness) runWorkloadOnce(k *kernel.Kernel, w Workload) error {
 	return nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // Section prints a header.
 func Section(w io.Writer, title string) {
 	fmt.Fprintf(w, "\n=== %s ===\n", title)

@@ -1,0 +1,37 @@
+package harness
+
+import "testing"
+
+// TestStaticFlowSoundness is the machine-checked soundness invariant run
+// live: the static census must contain every dynamic-census finding and the
+// relsec distinguishing witness, and the synthesized fence set must pass
+// the differential oracle trace-equal with no more sites than the dynamic
+// repair loop converged to. A transfer-function regression in
+// internal/staticflow fails here loudly.
+func TestStaticFlowSoundness(t *testing.T) {
+	h := New(QuickOptions())
+	rep, err := h.StaticFlow()
+	if err != nil {
+		t.Fatalf("staticflow: %v", err)
+	}
+	if rep.MissingDyn != 0 {
+		t.Errorf("soundness violation: %d dynamic-census findings not statically flagged", rep.MissingDyn)
+	}
+	if !rep.WitnessFlagged {
+		t.Errorf("soundness violation: relsec witness pc %#x (%s) not statically flagged",
+			rep.WitnessPC, rep.WitnessGadget)
+	}
+	if rep.VerifyDiverged != 0 {
+		t.Errorf("static fence set leaks: %d/%d gadget pairs distinguishable (first: %s)",
+			rep.VerifyDiverged, rep.VerifyGadgets, rep.VerifyFirstDiv)
+	}
+	if rep.VerifyGadgets == 0 {
+		t.Errorf("no driveable gadgets verified")
+	}
+	if rep.StaticSites == 0 || rep.StaticSites > rep.DynSites {
+		t.Errorf("static fence sites %d outside (0, dynamic %d]", rep.StaticSites, rep.DynSites)
+	}
+	if rep.StaticFindings < rep.DynFindings {
+		t.Errorf("static census (%d) smaller than dynamic (%d)", rep.StaticFindings, rep.DynFindings)
+	}
+}

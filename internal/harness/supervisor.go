@@ -141,6 +141,14 @@ func Experiments() []Experiment {
 				}
 				return err
 			}},
+		{"staticflow", "static speculative-leak census, soundness check, fence synthesis",
+			func(h *Harness, w io.Writer) error {
+				rep, err := h.StaticFlow()
+				if rep != nil {
+					PrintStaticFlow(w, rep)
+				}
+				return err
+			}},
 	}
 }
 

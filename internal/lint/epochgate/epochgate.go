@@ -1,0 +1,166 @@
+// Package epochgate implements the perspective-lint analyzer confining the
+// resolve-lookaside epoch discipline (internal/memsim/lookaside.go,
+// internal/vmm, DESIGN.md §12). The lookaside caches VA→PA translations and
+// re-validates them with a single generation compare against the machine-wide
+// translation epoch, so the fast path is only sound while three confinement
+// properties hold:
+//
+//  1. The Kmaps.epoch counter is bumped exactly where the kernel mutates a
+//     translation (Vmalloc, Vfree, MapPerCPU, and the per-AddrSpace
+//     bumpEpoch) and escapes only through the two pointer accessors
+//     (EpochPtr, TranslationEpoch) that memsim snapshots at install time. A
+//     write anywhere else either stalls the epoch (stale lookaside entries
+//     survive a remap — a translation hole) or bumps it spuriously.
+//  2. The lookaside state itself (Mem.lk, Mem.trGen, Mem.kernOK) is touched
+//     only by the blessed accessors in lookaside.go: ResolveFast, lkInstall,
+//     SetTranslator, SetKernelMode, and the VerifyLookaside oracle. New code
+//     populating or consulting the table ad hoc would skip the generation
+//     and privilege checks those accessors encode.
+//  3. Mem.ResolveFast is called only from the two translation front doors:
+//     memsim.Mem.Resolve (which falls back to the checked walk plus
+//     lkInstall on a miss) and cpu.Core.runThreaded (whose inline fast path
+//     replays the same miss fallback). Any other caller gets a raw hit with
+//     no walk fallback and no install, silently losing translations.
+//
+// Kmaps.Clone deliberately does NOT copy epoch — a clone is a fresh machine
+// with its own generation — so Clone is not in the blessed set; it never
+// names the field.
+package epochgate
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the resolve-lookaside epoch-discipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochgate",
+	Doc: "confine the resolve-lookaside epoch discipline: the vmm epoch counter, " +
+		"the memsim lookaside state, and the ResolveFast callers",
+	Run: run,
+}
+
+// epochOwners may name the Kmaps.epoch field: the translation mutators that
+// bump it and the two pointer accessors memsim snapshots.
+var epochOwners = map[string]bool{
+	"vmm.Kmaps.EpochPtr":             true,
+	"vmm.Kmaps.Vmalloc":              true,
+	"vmm.Kmaps.Vfree":                true,
+	"vmm.Kmaps.MapPerCPU":            true,
+	"vmm.AddrSpace.bumpEpoch":        true,
+	"vmm.AddrSpace.TranslationEpoch": true,
+}
+
+// lkOwners are the blessed lookaside accessors in memsim/lookaside.go. Only
+// they may touch the Mem.lk/trGen/kernOK state.
+var lkOwners = map[string]bool{
+	"memsim.Mem.ResolveFast":     true,
+	"memsim.Mem.lkInstall":       true,
+	"memsim.Mem.SetTranslator":   true,
+	"memsim.Mem.SetKernelMode":   true,
+	"memsim.Mem.VerifyLookaside": true,
+}
+
+// fastCallers are the translation front doors allowed to call ResolveFast:
+// both pair the raw hit with the checked-walk miss fallback.
+var fastCallers = map[string]bool{
+	"memsim.Mem.Resolve":   true,
+	"cpu.Core.runThreaded": true,
+}
+
+// lkState is the lookaside state surface rule 2 confines.
+var lkState = map[string]bool{"lk": true, "trGen": true, "kernOK": true}
+
+// gatedPkgs are the packages the analyzer inspects: vmm holds the epoch,
+// memsim holds the lookaside, cpu holds the threaded-engine fast path.
+var gatedPkgs = map[string]bool{"vmm": true, "memsim": true, "cpu": true}
+
+func run(pass *analysis.Pass) error {
+	base := pkgBase(pass.Pkg)
+	if !gatedPkgs[base] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, base, fd)
+		}
+	}
+	return nil
+}
+
+// funcName renders fd as "pkg.Type.Func" (receiver pointer stripped), the
+// key shape the allowlists use.
+func funcName(base string, fd *ast.FuncDecl) string {
+	name := base + "." + fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		recv := fd.Recv.List[0].Type
+		if star, ok := recv.(*ast.StarExpr); ok {
+			recv = star.X
+		}
+		if id, ok := recv.(*ast.Ident); ok {
+			name = base + "." + id.Name + "." + fd.Name.Name
+		}
+	}
+	return name
+}
+
+// checkFunc applies all three confinement rules inside fd. Function literals
+// inherit their enclosing declaration's standing.
+func checkFunc(pass *analysis.Pass, base string, fd *ast.FuncDecl) {
+	name := funcName(base, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := analysis.Callee(pass.TypesInfo, n)
+			if fn == nil {
+				return true
+			}
+			recv := analysis.Receiver(fn)
+			if recv == nil || recv.Obj().Pkg() == nil {
+				return true
+			}
+			// Rule 3: ResolveFast stays behind the translation front doors.
+			if pkgBase(recv.Obj().Pkg()) == "memsim" && recv.Obj().Name() == "Mem" &&
+				fn.Name() == "ResolveFast" && !fastCallers[name] {
+				pass.Reportf(n.Pos(),
+					"memsim.Mem.ResolveFast called in %s outside the translation front doors: a raw lookaside hit without the checked-walk miss fallback silently loses translations; go through Mem.Resolve",
+					name)
+			}
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := sel.Obj().(*types.Var)
+			if !ok || v.Pkg() == nil {
+				return true
+			}
+			owner := pkgBase(v.Pkg())
+			// Rule 1: the epoch counter stays with the mutators + accessors.
+			if owner == "vmm" && n.Sel.Name == "epoch" && !epochOwners[name] {
+				pass.Reportf(n.Pos(),
+					"Kmaps.epoch touched in %s: the translation generation is bumped only by the vmm mutators and read only through EpochPtr/TranslationEpoch; a stray access desynchronizes every installed lookaside",
+					name)
+			}
+			// Rule 2: the lookaside state stays inside lookaside.go.
+			if owner == "memsim" && lkState[n.Sel.Name] && !lkOwners[name] {
+				pass.Reportf(n.Pos(),
+					"lookaside state %s touched in %s: the Mem.lk/trGen/kernOK surface is private to the blessed accessors in internal/memsim/lookaside.go",
+					n.Sel.Name, name)
+			}
+		}
+		return true
+	})
+}
+
+func pkgBase(p *types.Package) string {
+	parts := strings.Split(p.Path(), "/")
+	return parts[len(parts)-1]
+}

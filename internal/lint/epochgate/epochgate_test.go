@@ -1,0 +1,12 @@
+package epochgate_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/epochgate"
+)
+
+func TestEpochGate(t *testing.T) {
+	analysistest.Run(t, "testdata/fixture", epochgate.Analyzer, "./...")
+}

@@ -1,0 +1,26 @@
+// Package cpu exercises the cross-package half of the gate: the threaded
+// engine's inline fast path passes, a transient path taking the raw hit is
+// flagged.
+package cpu
+
+import "fixture/memsim"
+
+type Core struct {
+	Mem *memsim.Mem
+}
+
+// runThreaded is the threaded-engine front door: the inline fast path pairs
+// every raw hit with the Resolve fallback on a miss.
+func (c *Core) runThreaded(va uint64) uint64 {
+	if pa := c.Mem.ResolveFast(va, 8); pa != 0 {
+		return pa
+	}
+	pa, _ := c.Mem.Resolve(va, 8)
+	return pa
+}
+
+// specLoad models a transient path grabbing the raw fast path: no fallback,
+// no install, translations silently lost.
+func (c *Core) specLoad(va uint64) uint64 {
+	return c.Mem.ResolveFast(va, 8) // want `memsim\.Mem\.ResolveFast called in cpu\.Core\.specLoad outside the translation front doors`
+}

@@ -95,9 +95,9 @@ func AnalyzeFunc(f *kimage.Func) []Finding {
 				if get(in.Rs1) >= secret || get(in.Rs2) >= secret {
 					out = append(out, Finding{FuncID: f.ID, PC: pc, Kind: kimage.GadgetPort})
 				}
-				set(in.Rd, maxInt(get(in.Rs1), get(in.Rs2)))
+				set(in.Rd, max(get(in.Rs1), get(in.Rs2)))
 			default:
-				set(in.Rd, maxInt(get(in.Rs1), get(in.Rs2)))
+				set(in.Rd, max(get(in.Rs1), get(in.Rs2)))
 			}
 		case isa.OpLoad:
 			addrLvl := get(in.Rs1)
@@ -114,7 +114,7 @@ func AnalyzeFunc(f *kimage.Func) []Finding {
 				if s >= secret {
 					out = append(out, Finding{FuncID: f.ID, PC: pc, Kind: kimage.GadgetMDS})
 				}
-				v = maxInt(v, s)
+				v = max(v, s)
 			}
 			set(in.Rd, v)
 		case isa.OpStore:
@@ -122,13 +122,6 @@ func AnalyzeFunc(f *kimage.Func) []Finding {
 		}
 	}
 	return out
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Cost model constants: the abstract work a fuzzing+taint campaign spends.

@@ -1,0 +1,207 @@
+// Interprocedural fixpoint: per-function analyses run (possibly in
+// parallel) against a snapshot of the entry states, then their call-site
+// contributions are joined sequentially in function-ID order and the round
+// repeats until no entry moves. Joins are lattice operations — commutative,
+// associative, idempotent — and the sequential join order is fixed, so the
+// result is independent of how the per-function work was scheduled: the
+// harness runs shards on the parallel cell engine and gets byte-identical
+// reports at any -jobs.
+
+package staticflow
+
+import (
+	"sort"
+
+	"repro/internal/bbcache"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/kimage"
+	"repro/internal/schemes"
+)
+
+// Analyzer drives the whole-image interprocedural analysis.
+type Analyzer struct {
+	img   *kimage.Image
+	prog  *bbcache.Program
+	rob   int
+	funcs []*kimage.Func
+	// entries holds the current per-function entry states, indexed
+	// parallel to funcs. Mutated only between rounds (JoinCalls); the
+	// per-function analyses read it concurrently.
+	entries []*EntryState
+	byID    map[int]int // function ID -> funcs index
+	rounds  int
+}
+
+// New prepares an analyzer over img's decoded text. The speculative window
+// is the default core's ROB depth — the deepest wrong-path continuation the
+// simulated hardware can sustain.
+func New(img *kimage.Image) *Analyzer {
+	a := &Analyzer{
+		img:  img,
+		prog: img.Decoded(),
+		rob:  cpu.DefaultConfig().ROB,
+		byID: map[int]int{},
+	}
+	a.funcs = append(a.funcs, img.Funcs()...)
+	sort.Slice(a.funcs, func(i, j int) bool { return a.funcs[i].ID < a.funcs[j].ID })
+	a.entries = make([]*EntryState, len(a.funcs))
+	for i := range a.funcs {
+		e := baseEntry()
+		a.entries[i] = &e
+		a.byID[a.funcs[i].ID] = i
+	}
+	return a
+}
+
+// NumFuncs reports how many functions one round analyzes.
+func (a *Analyzer) NumFuncs() int { return len(a.funcs) }
+
+// AnalyzeIndex analyzes the i'th function against the current entry
+// snapshot. Pure: safe to call concurrently for distinct or identical i.
+func (a *Analyzer) AnalyzeIndex(i int) FuncResult {
+	return analyzeFunc(a.img, a.prog, a.rob, a.funcs[i], a.entries[i])
+}
+
+// JoinCalls folds one round's call-site contributions into the entry
+// states, in caller-ID order, and reports whether any entry changed (i.e.
+// whether another round is needed). results must be indexed parallel to the
+// analyzer's functions.
+func (a *Analyzer) JoinCalls(results []FuncResult) bool {
+	a.rounds++
+	changed := false
+	for _, res := range results {
+		calleeIDs := make([]int, 0, len(res.Calls))
+		for id := range res.Calls {
+			calleeIDs = append(calleeIDs, id)
+		}
+		sort.Ints(calleeIDs)
+		for _, id := range calleeIDs {
+			idx, ok := a.byID[id]
+			if !ok {
+				continue
+			}
+			if joinEntry(a.entries[idx], res.Calls[id]) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Rounds reports how many rounds have been joined so far.
+func (a *Analyzer) Rounds() int { return a.rounds }
+
+// Report is the whole-image static census and fence synthesis.
+type Report struct {
+	// Findings is the static census, sorted by (FuncID, PC, Kind).
+	Findings []Finding
+	// FenceSites is the sorted set of secret-source load PCs feeding any
+	// trace-visible sink — the synthesized fence placement.
+	FenceSites []uint64
+	// Rounds is the number of interprocedural rounds to fixpoint.
+	Rounds int
+	// Funcs and Insts are whole-image totals.
+	Funcs, Insts int
+}
+
+// BuildReport assembles the final report from the last round's results.
+func (a *Analyzer) BuildReport(results []FuncResult) *Report {
+	rep := &Report{Rounds: a.rounds, Funcs: len(results)}
+	fence := map[uint64]bool{}
+	for _, res := range results {
+		rep.Findings = append(rep.Findings, res.Findings...)
+		rep.Insts += res.Insts
+		for _, pc := range res.Fence {
+			fence[pc] = true
+		}
+	}
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		x, y := rep.Findings[i], rep.Findings[j]
+		if x.FuncID != y.FuncID {
+			return x.FuncID < y.FuncID
+		}
+		if x.PC != y.PC {
+			return x.PC < y.PC
+		}
+		return x.Kind < y.Kind
+	})
+	rep.FenceSites = make([]uint64, 0, len(fence))
+	for pc := range fence {
+		//lint:allow determinism -- key collection sorted immediately below
+		rep.FenceSites = append(rep.FenceSites, pc)
+	}
+	sort.Slice(rep.FenceSites, func(i, j int) bool { return rep.FenceSites[i] < rep.FenceSites[j] })
+	return rep
+}
+
+// Analyze runs the full fixpoint serially: rounds of per-function analysis
+// until no entry state moves. The harness's -exp staticflow drives the same
+// rounds through the parallel cell engine; both produce identical reports.
+func Analyze(img *kimage.Image) *Report {
+	a := New(img)
+	for {
+		results := make([]FuncResult, a.NumFuncs())
+		for i := range results {
+			results[i] = a.AnalyzeIndex(i)
+		}
+		if !a.JoinCalls(results) {
+			return a.BuildReport(results)
+		}
+	}
+}
+
+// Census tallies findings by kind, mirroring scanner.Report.Census.
+func (r *Report) Census() (mds, port, cache int) {
+	for _, f := range r.Findings {
+		switch f.Kind {
+		case kimage.GadgetMDS:
+			mds++
+		case kimage.GadgetPort:
+			port++
+		case kimage.GadgetCache:
+			cache++
+		}
+	}
+	return
+}
+
+// GadgetFuncIDs lists the distinct functions with static findings.
+func (r *Report) GadgetFuncIDs() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, f := range r.Findings {
+		if !seen[f.FuncID] {
+			seen[f.FuncID] = true
+			out = append(out, f.FuncID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasPC reports whether some finding sits at pc — the per-witness soundness
+// check the harness runs against relsec's distinguishing traces.
+func (r *Report) HasPC(pc uint64) bool {
+	for _, f := range r.Findings {
+		if f.PC == pc {
+			return true
+		}
+	}
+	return false
+}
+
+// FenceRanges converts sorted fence-site PCs into the half-open VA ranges
+// schemes.SelectiveFencePolicy hardens, merging adjacent sites. The result
+// is sorted and non-overlapping, as the policy's binary search requires.
+func FenceRanges(sites []uint64) []schemes.VARange {
+	var out []schemes.VARange
+	for _, pc := range sites {
+		if n := len(out); n > 0 && out[n-1].End == pc {
+			out[n-1].End = pc + isa.InstBytes
+			continue
+		}
+		out = append(out, schemes.VARange{Start: pc, End: pc + isa.InstBytes})
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package staticflow
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/kimage"
+	"repro/internal/scanner"
+	"repro/internal/schemes"
+)
+
+func testImage(t testing.TB) *kimage.Image {
+	t.Helper()
+	img, err := kimage.Build(kimage.TestSpec())
+	if err != nil {
+		t.Fatalf("build image: %v", err)
+	}
+	return img
+}
+
+// TestStaticFlowCoversScanner is the per-PC soundness regression: every
+// finding the dynamic scanner's linear walk produces must appear in the
+// static census, for every function in the image. A transfer-function
+// regression that loses a scanner rule fails here loudly.
+func TestStaticFlowCoversScanner(t *testing.T) {
+	img := testImage(t)
+	rep := Analyze(img)
+	static := map[Finding]bool{}
+	for _, f := range rep.Findings {
+		static[f] = true
+	}
+	missing := 0
+	for _, f := range img.Funcs() {
+		for _, fd := range scanner.AnalyzeFunc(f) {
+			key := Finding{FuncID: fd.FuncID, PC: fd.PC, Kind: fd.Kind}
+			if !static[key] {
+				missing++
+				if missing <= 5 {
+					t.Errorf("scanner finding not statically flagged: func %d (%s) pc %#x kind %v",
+						fd.FuncID, f.Name, fd.PC, fd.Kind)
+				}
+			}
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d scanner findings missing from static census", missing)
+	}
+}
+
+// TestStaticFlowFlagsSeededGadgets checks the census against the image's
+// ground truth: every seeded gadget function must carry a static finding of
+// its seeded channel kind. (The recorded GadgetPC can point at a
+// neighbouring guard instruction, so the check is per-function per-kind —
+// the same granularity the dynamic census uses.)
+func TestStaticFlowFlagsSeededGadgets(t *testing.T) {
+	img := testImage(t)
+	rep := Analyze(img)
+	kinds := map[int]map[kimage.GadgetKind]bool{}
+	for _, f := range rep.Findings {
+		if kinds[f.FuncID] == nil {
+			kinds[f.FuncID] = map[kimage.GadgetKind]bool{}
+		}
+		kinds[f.FuncID][f.Kind] = true
+	}
+	for _, f := range img.Gadgets() {
+		if !kinds[f.ID][f.Gadget] {
+			t.Errorf("seeded gadget %s: no static %v finding", f.Name, f.Gadget)
+		}
+	}
+}
+
+// TestStaticFlowDeterministic re-runs the fixpoint and requires identical
+// reports: the analysis holds no randomness and no iteration-order leaks.
+func TestStaticFlowDeterministic(t *testing.T) {
+	img := testImage(t)
+	a, b := Analyze(img), Analyze(img)
+	if len(a.Findings) != len(b.Findings) || len(a.FenceSites) != len(b.FenceSites) || a.Rounds != b.Rounds {
+		t.Fatalf("reports differ in shape: %d/%d findings, %d/%d sites, %d/%d rounds",
+			len(a.Findings), len(b.Findings), len(a.FenceSites), len(b.FenceSites), a.Rounds, b.Rounds)
+	}
+	for i := range a.Findings {
+		if a.Findings[i] != b.Findings[i] {
+			t.Fatalf("finding %d differs: %+v vs %+v", i, a.Findings[i], b.Findings[i])
+		}
+	}
+	for i := range a.FenceSites {
+		if a.FenceSites[i] != b.FenceSites[i] {
+			t.Fatalf("fence site %d differs: %#x vs %#x", i, a.FenceSites[i], b.FenceSites[i])
+		}
+	}
+}
+
+// TestStaticFlowWindowNeverBinds pins the assumption the docs state: the
+// ROB-depth speculative window is deeper than any function in the image, so
+// the window bound cannot truncate the scanner-parity path.
+func TestStaticFlowWindowNeverBinds(t *testing.T) {
+	img := testImage(t)
+	rob := New(img).rob
+	for _, f := range img.Funcs() {
+		if f.NumInsts() > rob {
+			t.Fatalf("function %s has %d insts > ROB %d: speculative window could truncate coverage",
+				f.Name, f.NumInsts(), rob)
+		}
+	}
+}
+
+// TestFenceRanges checks the VA-range construction invariants the selective
+// fence policy's binary search depends on.
+func TestFenceRanges(t *testing.T) {
+	sites := []uint64{0x100, 0x104, 0x108, 0x200}
+	got := FenceRanges(sites)
+	want := []schemes.VARange{{Start: 0x100, End: 0x10c}, {Start: 0x200, End: 0x204}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d ranges, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if FenceRanges(nil) != nil {
+		t.Fatalf("empty site set must give no ranges")
+	}
+}
+
+// TestFenceSitesAreLoads checks that every synthesized fence site is a load
+// instruction — the only site kind SelectiveFencePolicy.OnTransmit guards.
+func TestFenceSitesAreLoads(t *testing.T) {
+	img := testImage(t)
+	rep := Analyze(img)
+	if len(rep.FenceSites) == 0 {
+		t.Fatalf("no fence sites synthesized for a gadget-bearing image")
+	}
+	for _, pc := range rep.FenceSites {
+		in := img.InstAt(pc)
+		if in == nil || in.Op != isa.OpLoad {
+			t.Fatalf("fence site %#x is not a load instruction", pc)
+		}
+	}
+}
+
+// TestProvUnion exercises the sorted-set merge edge cases.
+func TestProvUnion(t *testing.T) {
+	cases := []struct{ a, b, want []uint64 }{
+		{nil, nil, nil},
+		{[]uint64{1}, nil, []uint64{1}},
+		{nil, []uint64{2}, []uint64{2}},
+		{[]uint64{1, 3}, []uint64{2}, []uint64{1, 2, 3}},
+		{[]uint64{1, 2}, []uint64{1, 2}, []uint64{1, 2}},
+		{[]uint64{1, 2, 9}, []uint64{2, 9}, []uint64{1, 2, 9}},
+	}
+	for _, c := range cases {
+		got := provUnion(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Fatalf("provUnion(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("provUnion(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}
+
+// BenchmarkAnalyzeImage times the full serial whole-image fixpoint on the
+// test image — the wall-time figure benchreport tracks under the benchdiff
+// gate (the head-to-head against the dynamic repair loop's 163 differential
+// rounds).
+func BenchmarkAnalyzeImage(b *testing.B) {
+	img, err := kimage.Build(kimage.TestSpec())
+	if err != nil {
+		b.Fatalf("build image: %v", err)
+	}
+	img.Decoded() // decode once outside the loop, as the harness does
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := Analyze(img)
+		if len(rep.Findings) == 0 {
+			b.Fatal("empty census")
+		}
+	}
+}
